@@ -1,0 +1,193 @@
+// EXT-7: ablations of the design choices DESIGN.md calls out.
+//
+//  (a) SWA low threshold: the paper's value is OCR-damaged; DESIGN.md §4
+//      claims any low in (4/13, 0.49) reproduces the Table 10/11 traces.
+//      Swept here so the claim is machine-checked.
+//  (b) KPB k: sensitivity of the paper's Table 12-14 example to k, showing
+//      the subset-size cliff (k below 34% of 3 machines behaves like MET in
+//      the original mapping too; k = 100% is MCT and cannot increase).
+//  (c) The §5 seeding proposal: wrapping SWA/KPB/Sufferage in
+//      heuristics::Seeded drives their makespan-increase rate to exactly 0.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/paper_examples.hpp"
+#include "core/witness.hpp"
+#include "heuristics/kpb.hpp"
+#include "heuristics/registry.hpp"
+#include "heuristics/seeded.hpp"
+#include "heuristics/sufferage.hpp"
+#include "heuristics/swa.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using hcsched::core::IterativeMinimizer;
+using hcsched::core::IterativeOptions;
+using hcsched::report::TextTable;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+
+void print_swa_threshold_sweep() {
+  const auto example = hcsched::core::swa_example();
+  const Problem problem = Problem::full(*example.matrix);
+  TextTable table({"low threshold", "original CTs", "final CTs",
+                   "makespan", "reproduces paper"});
+  const IterativeMinimizer minimizer{
+      IterativeOptions{.use_seeding = false}};
+  for (double low : {0.20, 0.30, 4.0 / 13.0 + 0.01, 0.35, 0.40, 0.48}) {
+    hcsched::heuristics::Swa swa(low, 0.49);
+    TieBreaker ties;
+    const auto result = minimizer.run(swa, problem, ties);
+    std::string orig;
+    std::string fin;
+    for (std::size_t m = 0; m < 3; ++m) {
+      if (m != 0) {
+        orig += ", ";
+        fin += ", ";
+      }
+      orig += TextTable::num(result.original().schedule.completion_time(
+          static_cast<int>(m)));
+      fin += TextTable::num(result.final_finish_of(static_cast<int>(m)));
+    }
+    const bool reproduces =
+        result.final_finish_of(1) == 4.0 &&
+        result.final_finish_of(2) == 6.5 && result.original().makespan == 6.0;
+    table.add_row({TextTable::num(low, 4), orig, fin,
+                   TextTable::num(result.original().makespan) + " -> " +
+                       TextTable::num(result.final_makespan()),
+                   reproduces ? "yes" : "no"});
+  }
+  std::printf(
+      "=== EXT-7a SWA low-threshold ablation on the Table 9 matrix "
+      "(high = 0.49) ===\n%s"
+      "DESIGN.md claim: every low in (4/13 = 0.3077, 0.49) reproduces the "
+      "paper's 6 -> 6.5 trace; values at or below 4/13 change the first "
+      "iterative mapping.\n\n",
+      table.to_string().c_str());
+}
+
+void print_kpb_percent_sweep() {
+  const auto example = hcsched::core::kpb_example();
+  const Problem problem = Problem::full(*example.matrix);
+  TextTable table({"k (%)", "orig subset", "iter subset", "makespan",
+                   "increased"});
+  const IterativeMinimizer minimizer{
+      IterativeOptions{.use_seeding = false}};
+  for (double k : {34.0, 50.0, 70.0, 90.0, 100.0}) {
+    hcsched::heuristics::Kpb kpb(k);
+    TieBreaker ties;
+    const auto result = minimizer.run(kpb, problem, ties);
+    table.add_row({TextTable::num(k),
+                   std::to_string(kpb.subset_size(3)) + "/3",
+                   std::to_string(kpb.subset_size(2)) + "/2",
+                   TextTable::num(result.original().makespan) + " -> " +
+                       TextTable::num(result.final_makespan()),
+                   result.makespan_increased() ? "yes" : "no"});
+  }
+  std::printf(
+      "=== EXT-7b KPB k ablation on the Table 12 matrix ===\n%s"
+      "The paper's phenomenon needs the subset-size cliff: at k = 100%% "
+      "(MCT) the theorem applies and no increase is possible.\n\n",
+      table.to_string().c_str());
+}
+
+void print_seeded_wrapper_study() {
+  TextTable table(
+      {"heuristic", "bare increase rate", "Seeded<> increase rate"});
+  constexpr std::size_t kTrials = 1500;
+  for (const char* name : {"SWA", "KPB", "Sufferage"}) {
+    hcsched::core::WitnessSpec spec;
+    spec.num_tasks = 6;
+    spec.num_machines = 3;
+    spec.half_integers = true;
+
+    const auto bare = hcsched::heuristics::make_heuristic(name);
+    Rng r1(9);
+    const double bare_rate =
+        hcsched::core::makespan_increase_rate(*bare, spec, r1, kTrials);
+
+    // The Seeded wrapper needs seeding enabled in the iterative runner, so
+    // measure its rate directly.
+    const auto wrapped = hcsched::heuristics::make_seeded(name);
+    Rng r2(9);
+    std::size_t hits = 0;
+    const IterativeMinimizer minimizer{
+        IterativeOptions{.use_seeding = true}};
+    for (std::size_t i = 0; i < kTrials; ++i) {
+      const auto matrix = hcsched::core::sample_matrix(spec, r2);
+      TieBreaker ties;
+      const auto result =
+          minimizer.run(*wrapped, Problem::full(matrix), ties);
+      if (result.makespan_increased()) ++hits;
+    }
+    table.add_row({name,
+                   TextTable::num(bare_rate * 100.0, 2) + "%",
+                   TextTable::num(100.0 * static_cast<double>(hits) /
+                                      static_cast<double>(kTrials),
+                                  2) +
+                       "%"});
+  }
+  std::printf(
+      "=== EXT-7c the paper's §5 proposal: Seeded<> wrapper (%zu matrices "
+      "per cell) ===\n%s"
+      "Paper §5: seeding \"would guarantee that a heuristic can never "
+      "increase makespan from one iteration to the next\" — the wrapped "
+      "column must be exactly 0%%.\n\n",
+      kTrials, table.to_string().c_str());
+}
+
+void print_sufferage_requeue_ablation() {
+  // EXT-7d: DESIGN.md documents that displaced Sufferage tasks re-enter
+  // the next pass in original task order (Figure 17 leaves it open). Check
+  // the makespan-increase phenomenon is insensitive to that choice.
+  TextTable table({"requeue order", "increase rate (3000 matrices)"});
+  for (const auto& [label, order] :
+       {std::pair{"original task order",
+                  hcsched::heuristics::SufferageRequeue::kOriginalOrder},
+        std::pair{"encounter order",
+                  hcsched::heuristics::SufferageRequeue::kEncounterOrder}}) {
+    const hcsched::heuristics::Sufferage sufferage(order);
+    hcsched::core::WitnessSpec spec;
+    spec.num_tasks = 6;
+    spec.num_machines = 3;
+    spec.half_integers = true;
+    Rng rng(11);
+    const double rate =
+        hcsched::core::makespan_increase_rate(sufferage, spec, rng, 3000);
+    table.add_row({label, TextTable::num(rate * 100.0, 2) + "%"});
+  }
+  std::printf(
+      "=== EXT-7d Sufferage requeue-order ablation ===\n%s"
+      "Both orders exhibit the paper's deterministic-tie makespan increase "
+      "at a similar (low) rate.\n\n",
+      table.to_string().c_str());
+}
+
+void BM_SeededOverhead(benchmark::State& state) {
+  const auto wrapped = hcsched::heuristics::make_seeded("Sufferage");
+  const auto example = hcsched::core::sufferage_example();
+  const Problem problem = Problem::full(*example.matrix);
+  const IterativeMinimizer minimizer{IterativeOptions{.use_seeding = true}};
+  for (auto _ : state) {
+    TieBreaker ties;
+    benchmark::DoNotOptimize(minimizer.run(*wrapped, problem, ties));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SeededOverhead);
+
+int main(int argc, char** argv) {
+  print_swa_threshold_sweep();
+  print_kpb_percent_sweep();
+  print_seeded_wrapper_study();
+  print_sufferage_requeue_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "heuristics/registry.hpp"
+#include "report/gantt.hpp"
+#include "report/table.hpp"
+
+namespace hcsched::bench {
+
+namespace {
+
+using report::TextTable;
+
+void print_etc_table(const core::PaperExample& example) {
+  const auto& m = *example.matrix;
+  std::vector<std::string> header = {"task"};
+  for (std::size_t j = 0; j < m.num_machines(); ++j) {
+    header.push_back(std::string("m") + std::to_string(j));
+  }
+  TextTable table(std::move(header));
+  for (std::size_t t = 0; t < m.num_tasks(); ++t) {
+    std::vector<std::string> row = {std::string("t") + std::to_string(t)};
+    for (std::size_t j = 0; j < m.num_machines(); ++j) {
+      row.push_back(TextTable::num(
+          m.at(static_cast<int>(t), static_cast<int>(j))));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void print_mapping_table(const sched::Schedule& schedule) {
+  const auto& problem = schedule.problem();
+  std::vector<std::string> header = {"step", "task", "machine"};
+  for (sched::MachineId m : problem.machines()) {
+    header.push_back(std::string("m") + std::to_string(m) + " CT");
+  }
+  TextTable table(std::move(header));
+  std::vector<double> running = problem.initial_ready_times();
+  std::size_t step = 0;
+  for (const sched::Assignment& a : schedule.assignment_order()) {
+    running[problem.slot_of(a.machine)] = a.finish;
+    std::vector<std::string> row = {std::to_string(++step),
+                                    std::string("t") + std::to_string(a.task),
+                                    std::string("m") + std::to_string(a.machine)};
+    for (double ct : running) row.push_back(TextTable::num(ct));
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+}
+
+void print_ct_comparison(const core::PaperExample& example,
+                         const core::IterativeResult& result) {
+  TextTable table({"machine", "paper orig CT", "measured orig CT",
+                   "paper final CT", "measured final CT"});
+  const auto& original = result.original().schedule;
+  for (std::size_t m = 0; m < example.matrix->num_machines(); ++m) {
+    const auto id = static_cast<sched::MachineId>(m);
+    table.add_row({std::string("m") + std::to_string(m),
+                   TextTable::num(example.expected_original_ct[m]),
+                   TextTable::num(original.completion_time(id)),
+                   TextTable::num(example.expected_final_ct[m]),
+                   TextTable::num(result.final_finish_of(id))});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("makespan: paper %s -> %s, measured %s -> %s\n",
+              TextTable::num(example.expected_original_makespan).c_str(),
+              TextTable::num(example.expected_final_makespan).c_str(),
+              TextTable::num(result.original().makespan).c_str(),
+              TextTable::num(result.final_makespan()).c_str());
+}
+
+}  // namespace
+
+bool print_example_reproduction(const core::PaperExample& example) {
+  std::printf("=== %s example — %s / %s ===\n", example.heuristic.c_str(),
+              example.table_refs.c_str(), example.figure_refs.c_str());
+  std::printf("%s\n\n", example.notes.c_str());
+
+  std::printf("-- ETC matrix (reconstruction, %s) --\n",
+              example.table_refs.c_str());
+  print_etc_table(example);
+
+  const auto result = core::run_paper_example(example);
+
+  std::printf("\n-- Original mapping (%s) --\n", example.table_refs.c_str());
+  print_mapping_table(result.original().schedule);
+  std::printf("%s", report::render_gantt(result.original().schedule).c_str());
+
+  if (result.iterations.size() > 1) {
+    std::printf("\n-- First iterative mapping --\n");
+    print_mapping_table(result.iterations[1].schedule);
+    std::printf("%s",
+                report::render_gantt(result.iterations[1].schedule).c_str());
+  }
+
+  std::printf("\n-- Paper vs measured (%s) --\n", example.table_refs.c_str());
+  print_ct_comparison(example, result);
+
+  const bool ok = core::example_matches(example, result) &&
+                  result.makespan_increased();
+  std::printf("reproduction check: %s\n\n", ok ? "PASS" : "FAIL");
+  return ok;
+}
+
+void register_example_benchmarks(const core::PaperExample& example) {
+  const auto* ex = &example;
+  benchmark::RegisterBenchmark(
+      (example.id + "/heuristic_map").c_str(),
+      [ex](benchmark::State& state) {
+        const auto heuristic = heuristics::make_heuristic(ex->heuristic);
+        const sched::Problem problem = sched::Problem::full(*ex->matrix);
+        for (auto _ : state) {
+          rng::TieBreaker ties;
+          benchmark::DoNotOptimize(heuristic->map(problem, ties));
+        }
+      });
+  benchmark::RegisterBenchmark(
+      (example.id + "/iterative_run").c_str(),
+      [ex](benchmark::State& state) {
+        const auto heuristic = heuristics::make_heuristic(ex->heuristic);
+        const sched::Problem problem = sched::Problem::full(*ex->matrix);
+        const core::IterativeMinimizer minimizer{
+            core::IterativeOptions{.use_seeding = false}};
+        for (auto _ : state) {
+          rng::TieBreaker ties(std::vector<std::size_t>(ex->tie_script));
+          benchmark::DoNotOptimize(minimizer.run(*heuristic, problem, ties));
+        }
+      });
+}
+
+int run_example_main(int argc, char** argv,
+                     const core::PaperExample& example) {
+  const bool ok = print_example_reproduction(example);
+  register_example_benchmarks(example);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}
+
+}  // namespace hcsched::bench

@@ -1,0 +1,62 @@
+// EXT-3: wall-clock scaling of every heuristic in the number of tasks
+// (fixed 16 machines). Min-Min/Max-Min/Duplex/Sufferage are O(T^2 M);
+// MET/MCT/OLB/KPB/SWA are O(T M); Genitor is dominated by its step budget.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using hcsched::etc::CvbEtcGenerator;
+using hcsched::etc::CvbParams;
+using hcsched::etc::EtcMatrix;
+using hcsched::sched::Problem;
+
+EtcMatrix make_matrix(std::size_t tasks, std::size_t machines) {
+  hcsched::rng::Rng rng(tasks * 131 + machines);
+  CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return CvbEtcGenerator(p).generate(rng);
+}
+
+void BM_Heuristic(benchmark::State& state, const char* name) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto heuristic = hcsched::heuristics::make_heuristic(name);
+  const EtcMatrix matrix = make_matrix(tasks, 16);
+  const Problem problem = Problem::full(matrix);
+  for (auto _ : state) {
+    hcsched::rng::TieBreaker ties;
+    benchmark::DoNotOptimize(heuristic->map(problem, ties));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(tasks));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks));
+}
+
+void register_scaling(const char* name, std::initializer_list<long> sizes) {
+  auto* bench = benchmark::RegisterBenchmark(
+      (std::string("map/") + name).c_str(), BM_Heuristic, name);
+  for (long n : sizes) bench->Arg(n);
+  bench->Unit(benchmark::kMicrosecond)->Complexity();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const char* name : {"MET", "MCT", "OLB", "KPB", "SWA"}) {
+    register_scaling(name, {64, 256, 1024, 4096});
+  }
+  for (const char* name : {"Min-Min", "Max-Min", "Duplex", "Sufferage"}) {
+    register_scaling(name, {64, 256, 1024});
+  }
+  register_scaling("Genitor", {64, 256});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

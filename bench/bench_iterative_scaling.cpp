@@ -1,0 +1,79 @@
+// EXT-4: cost model of the iterative technique. A full run is |M| - 1
+// re-mappings on shrinking instances, so its cost relative to one mapping
+// grows roughly linearly in the machine count (sub-linearly in practice as
+// the task set shrinks). Measured for a cheap (MCT) and an expensive
+// (Min-Min) heuristic.
+#include <benchmark/benchmark.h>
+
+#include "core/iterative.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using hcsched::core::IterativeMinimizer;
+using hcsched::etc::CvbEtcGenerator;
+using hcsched::etc::CvbParams;
+using hcsched::etc::EtcMatrix;
+using hcsched::sched::Problem;
+
+EtcMatrix make_matrix(std::size_t tasks, std::size_t machines) {
+  hcsched::rng::Rng rng(tasks * 7 + machines * 3);
+  CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return CvbEtcGenerator(p).generate(rng);
+}
+
+void BM_IterativeRun(benchmark::State& state, const char* name) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const std::size_t tasks = machines * 16;  // fixed tasks-per-machine ratio
+  const auto heuristic = hcsched::heuristics::make_heuristic(name);
+  const EtcMatrix matrix = make_matrix(tasks, machines);
+  const Problem problem = Problem::full(matrix);
+  const IterativeMinimizer minimizer;
+  for (auto _ : state) {
+    hcsched::rng::TieBreaker ties;
+    benchmark::DoNotOptimize(minimizer.run(*heuristic, problem, ties));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(machines));
+}
+
+void BM_SingleMap(benchmark::State& state, const char* name) {
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const std::size_t tasks = machines * 16;
+  const auto heuristic = hcsched::heuristics::make_heuristic(name);
+  const EtcMatrix matrix = make_matrix(tasks, machines);
+  const Problem problem = Problem::full(matrix);
+  for (auto _ : state) {
+    hcsched::rng::TieBreaker ties;
+    benchmark::DoNotOptimize(heuristic->map(problem, ties));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(machines));
+}
+
+void register_pair(const char* name, std::initializer_list<long> sizes) {
+  auto* a = benchmark::RegisterBenchmark(
+      (std::string("iterative_run/") + name).c_str(), BM_IterativeRun, name);
+  auto* b = benchmark::RegisterBenchmark(
+      (std::string("single_map/") + name).c_str(), BM_SingleMap, name);
+  for (long n : sizes) {
+    a->Arg(n);
+    b->Arg(n);
+  }
+  a->Unit(benchmark::kMicrosecond)->Complexity();
+  b->Unit(benchmark::kMicrosecond)->Complexity();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_pair("MCT", {4, 8, 16, 32});
+  register_pair("Min-Min", {4, 8, 16});
+  register_pair("Sufferage", {4, 8, 16});
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Tables 4-6 and Figures 6-7: the MCT worked example in
+// which random tie-breaking increases the makespan from 4 to 5 under the
+// iterative technique (paper §3.3).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  static const auto example = hcsched::core::mct_example();
+  return hcsched::bench::run_example_main(argc, argv, example);
+}

@@ -1,0 +1,9 @@
+// Regenerates paper Tables 4, 7-8 and Figures 9-10: the MET worked example
+// (same ETC matrix as the MCT example) in which random tie-breaking
+// increases the makespan from 4 to 5 (paper §3.4).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  static const auto example = hcsched::core::met_example();
+  return hcsched::bench::run_example_main(argc, argv, example);
+}

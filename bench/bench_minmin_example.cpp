@@ -1,0 +1,9 @@
+// Regenerates paper Tables 1-3 and Figures 3-4: the Min-Min worked example
+// in which random tie-breaking increases the makespan from 5 to 6 under the
+// iterative technique (paper §3.2).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  static const auto example = hcsched::core::minmin_example();
+  return hcsched::bench::run_example_main(argc, argv, example);
+}

@@ -1,0 +1,174 @@
+// EXT-8: the paper's §1 motivation, measured end-to-end. An off-line batch
+// is mapped (original vs iterative technique); the resulting per-machine
+// availability vectors seed an online dispatcher that handles a stream of
+// late-arriving tasks with each immediate-mode policy of Maheswaran et al.
+// [14]. Reports the late stream's mean flow time under both availability
+// vectors, plus policy throughput benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/iterative.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "report/table.hpp"
+#include "sim/batch_online.hpp"
+#include "sim/online.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using hcsched::core::IterativeMinimizer;
+using hcsched::report::TextTable;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sim::OnlineConfig;
+using hcsched::sim::OnlineDispatcher;
+using hcsched::sim::OnlinePolicy;
+
+void print_online_study() {
+  constexpr std::size_t kTrials = 15;
+  TextTable table({"online policy", "mean flow (original avail)",
+                   "mean flow (iterative avail)", "mean delta"});
+  for (OnlinePolicy policy :
+       {OnlinePolicy::kMct, OnlinePolicy::kMet, OnlinePolicy::kOlb,
+        OnlinePolicy::kKpb, OnlinePolicy::kSwa}) {
+    hcsched::sim::RunningStats flow_orig;
+    hcsched::sim::RunningStats flow_iter;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      Rng rng = Rng(4242).split(trial);
+      hcsched::etc::CvbParams params;
+      params.num_tasks = 32;
+      params.num_machines = 8;
+      params.mean_task_time = 100.0;
+      const auto batch =
+          hcsched::etc::CvbEtcGenerator(params).generate(rng);
+      const Problem problem = Problem::full(batch);
+      const auto sufferage = hcsched::heuristics::make_heuristic("Sufferage");
+
+      TieBreaker t1;
+      const auto original = sufferage->map(problem, t1);
+      TieBreaker t2;
+      const auto iterative =
+          IterativeMinimizer{}.run(*sufferage, problem, t2);
+
+      std::vector<double> avail_orig = original.completion_times_by_slot();
+      std::vector<double> avail_iter;
+      for (const auto& [m, t] : iterative.final_finishing_times) {
+        (void)m;
+        avail_iter.push_back(t);
+      }
+
+      const auto stream = hcsched::sim::make_arrival_stream(
+          24, 20.0, batch.num_tasks(), rng);
+      const OnlineDispatcher dispatcher(OnlineConfig{.policy = policy});
+      TieBreaker t3;
+      TieBreaker t4;
+      flow_orig.add(
+          dispatcher.run(batch, stream, avail_orig, t3).mean_flow_time());
+      flow_iter.add(
+          dispatcher.run(batch, stream, avail_iter, t4).mean_flow_time());
+    }
+    table.add_row(
+        {hcsched::sim::to_string(policy),
+         TextTable::num(flow_orig.mean(), 1),
+         TextTable::num(flow_iter.mean(), 1),
+         TextTable::num(flow_iter.mean() - flow_orig.mean(), 1)});
+  }
+  std::printf(
+      "=== EXT-8 online dispatch after the batch (Sufferage batch mapping, "
+      "%zu trials, 24 late tasks, 8 machines) ===\n%s"
+      "Negative delta = the iterative technique made machines available "
+      "earlier for the late stream — the paper's §1 motivation. The sign is "
+      "heuristic- and instance-dependent, exactly as the paper warns.\n\n",
+      kTrials, table.to_string().c_str());
+}
+
+void print_batch_vs_immediate() {
+  // Ref [14]'s central comparison: batch mode vs immediate mode under the
+  // same arrival stream. Batch mode should win at high arrival rates
+  // (short mean gap), where remapping a queue beats myopic dispatch.
+  constexpr std::size_t kTrials = 10;
+  hcsched::report::TextTable table(
+      {"mean gap", "immediate MCT flow", "batch Min-Min flow",
+       "batch Sufferage flow"});
+  for (double gap : {2.0, 5.0, 15.0}) {
+    hcsched::sim::RunningStats immediate;
+    hcsched::sim::RunningStats batch_minmin;
+    hcsched::sim::RunningStats batch_sufferage;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      Rng rng = Rng(909).split(trial);
+      hcsched::etc::CvbParams params;
+      params.num_tasks = 20;
+      params.num_machines = 6;
+      params.mean_task_time = 30.0;
+      const auto matrix =
+          hcsched::etc::CvbEtcGenerator(params).generate(rng);
+      const auto stream =
+          hcsched::sim::make_arrival_stream(60, gap, 20, rng);
+      const std::vector<double> idle(6, 0.0);
+
+      const OnlineDispatcher imm(OnlineConfig{.policy = OnlinePolicy::kMct});
+      TieBreaker t1;
+      immediate.add(imm.run(matrix, stream, idle, t1).mean_flow_time());
+
+      const hcsched::sim::BatchOnlineDispatcher bm(
+          hcsched::sim::BatchOnlineConfig{
+              .policy = hcsched::sim::BatchPolicy::kMinMin,
+              .interval = gap * 4.0});
+      TieBreaker t2;
+      batch_minmin.add(bm.run(matrix, stream, idle, t2).mean_flow_time());
+
+      const hcsched::sim::BatchOnlineDispatcher bs(
+          hcsched::sim::BatchOnlineConfig{
+              .policy = hcsched::sim::BatchPolicy::kSufferage,
+              .interval = gap * 4.0});
+      TieBreaker t3;
+      batch_sufferage.add(
+          bs.run(matrix, stream, idle, t3).mean_flow_time());
+    }
+    table.add_row({TextTable::num(gap, 1),
+                   TextTable::num(immediate.mean(), 1),
+                   TextTable::num(batch_minmin.mean(), 1),
+                   TextTable::num(batch_sufferage.mean(), 1)});
+  }
+  std::printf(
+      "=== EXT-8b batch vs immediate mode (ref [14]'s comparison; 60 "
+      "arrivals, 6 machines, %zu trials) ===\n%s\n",
+      kTrials, table.to_string().c_str());
+}
+
+void BM_OnlinePolicy(benchmark::State& state, OnlinePolicy policy) {
+  Rng rng(7);
+  hcsched::etc::CvbParams params;
+  params.num_tasks = 64;
+  params.num_machines = 16;
+  const auto matrix = hcsched::etc::CvbEtcGenerator(params).generate(rng);
+  const auto stream =
+      hcsched::sim::make_arrival_stream(512, 10.0, 64, rng);
+  const OnlineDispatcher dispatcher(OnlineConfig{.policy = policy});
+  const std::vector<double> ready(16, 0.0);
+  for (auto _ : state) {
+    TieBreaker ties;
+    benchmark::DoNotOptimize(dispatcher.run(matrix, stream, ready, ties));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_online_study();
+  print_batch_vs_immediate();
+  benchmark::RegisterBenchmark("dispatch_512/MCT", BM_OnlinePolicy,
+                               OnlinePolicy::kMct);
+  benchmark::RegisterBenchmark("dispatch_512/KPB", BM_OnlinePolicy,
+                               OnlinePolicy::kKpb);
+  benchmark::RegisterBenchmark("dispatch_512/SWA", BM_OnlinePolicy,
+                               OnlinePolicy::kSwa);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// EXT-10: does the iterative technique's benefit survive ETC estimation
+// error? Mappings are made against estimated ETCs; finishing times are then
+// realized under perturbed actual times. Reports, per noise level: the mean
+// realized change of non-makespan finishing times (iterative vs original)
+// and the robustness radius of both mappings.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/iterative.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "report/table.hpp"
+#include "sim/robustness.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using hcsched::core::IterativeMinimizer;
+using hcsched::report::TextTable;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sim::perturb;
+using hcsched::sim::PerturbationModel;
+using hcsched::sim::realized_completions;
+using hcsched::sim::robustness_radius;
+
+void print_robustness_study() {
+  constexpr std::size_t kTrials = 20;
+  TextTable table({"ETC noise", "estimated mean dCT", "realized mean dCT",
+                   "orig radius", "iter radius"});
+  for (double noise : {0.0, 0.1, 0.25, 0.5}) {
+    hcsched::sim::RunningStats estimated_delta;
+    hcsched::sim::RunningStats realized_delta;
+    hcsched::sim::RunningStats orig_radius;
+    hcsched::sim::RunningStats iter_radius;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      Rng rng = Rng(321).split(trial);
+      hcsched::etc::CvbParams params;
+      params.num_tasks = 24;
+      params.num_machines = 6;
+      const auto estimated =
+          hcsched::etc::CvbEtcGenerator(params).generate(rng);
+      const Problem problem = Problem::full(estimated);
+      const auto sufferage = hcsched::heuristics::make_heuristic("Sufferage");
+
+      TieBreaker t1;
+      const auto result = IterativeMinimizer{}.run(*sufferage, problem, t1);
+      const auto& original = result.original().schedule;
+
+      // The iterative technique's final mapping per machine is scattered
+      // across iterations; realize each machine's finishing time from the
+      // iteration at which it was frozen.
+      const auto actual = perturb(
+          estimated, PerturbationModel{.noise = noise, .floor = 0.05}, rng);
+
+      const auto orig_estimated = result.original_finishing_times();
+      const auto orig_realized = realized_completions(original, actual);
+      double est_sum = 0.0;
+      double real_sum = 0.0;
+      std::size_t counted = 0;
+      for (std::size_t i = 0; i < result.final_finishing_times.size(); ++i) {
+        const auto machine = result.final_finishing_times[i].first;
+        if (machine == result.original().makespan_machine) continue;
+        // Find the iteration that froze this machine and realize it there.
+        for (const auto& it : result.iterations) {
+          const bool last = (&it == &result.iterations.back());
+          if (it.makespan_machine == machine ||
+              (last && it.problem().has_machine(machine))) {
+            const auto realized = realized_completions(it.schedule, actual);
+            const std::size_t slot = it.problem().slot_of(machine);
+            real_sum += realized[slot] - orig_realized[i];
+            est_sum += result.final_finishing_times[i].second -
+                       orig_estimated[i];
+            ++counted;
+            break;
+          }
+        }
+      }
+      if (counted > 0) {
+        estimated_delta.add(est_sum / static_cast<double>(counted));
+        realized_delta.add(real_sum / static_cast<double>(counted));
+      }
+      const double tau = result.original().makespan * 1.2;
+      orig_radius.add(robustness_radius(original, tau));
+      // Radius of the terminal iteration's mapping (survivor machines).
+      iter_radius.add(
+          robustness_radius(result.iterations.back().schedule, tau));
+    }
+    table.add_row({TextTable::num(noise, 2),
+                   TextTable::num(estimated_delta.mean(), 2),
+                   TextTable::num(realized_delta.mean(), 2),
+                   TextTable::num(orig_radius.mean(), 3),
+                   TextTable::num(iter_radius.mean(), 3)});
+  }
+  std::printf(
+      "=== EXT-10 robustness to ETC estimation error (Sufferage, 24x6, %zu "
+      "trials; dCT = mean change of non-makespan finishing times, negative "
+      "is better) ===\n%s"
+      "Reading: the estimated-dCT column is noise-independent (the mapping "
+      "decision is made before execution); the realized column shows the "
+      "benefit degrading gracefully as actual times diverge from "
+      "estimates.\n\n",
+      kTrials, table.to_string().c_str());
+}
+
+void BM_Perturb(benchmark::State& state) {
+  Rng rng(5);
+  hcsched::etc::CvbParams params;
+  params.num_tasks = 128;
+  params.num_machines = 16;
+  const auto estimated =
+      hcsched::etc::CvbEtcGenerator(params).generate(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        perturb(estimated, PerturbationModel{.noise = 0.2}, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 16);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Perturb);
+
+int main(int argc, char** argv) {
+  print_robustness_study();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Regenerates paper Tables 15-17 and Figures 18-19: the Sufferage worked
+// example in which the makespan increases even with deterministic
+// tie-breaking (paper §3.7). The paper's 9x3 ETC matrix did not survive
+// transcription; the matrix here is a same-shape witness found by the
+// core/witness search (see DESIGN.md §4). Prints the pass-by-pass commit
+// trace that Tables 16/17 report (pass number, minimum CT, sufferage value,
+// machine).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "heuristics/sufferage.hpp"
+#include "report/table.hpp"
+
+namespace {
+inline std::string concat_label(char prefix, long long v) {
+  std::string out(1, prefix);
+  out += std::to_string(v);
+  return out;
+}
+}  // namespace
+
+namespace {
+
+void print_sufferage_trace(const hcsched::core::PaperExample& example) {
+  using hcsched::report::TextTable;
+  hcsched::heuristics::Sufferage sufferage;
+
+  auto print_for = [&sufferage](const hcsched::sched::Problem& problem,
+                                const char* title) {
+    hcsched::rng::TieBreaker ties;
+    std::vector<hcsched::heuristics::SufferageStep> trace;
+    sufferage.map_traced(problem, ties, &trace);
+    TextTable table({"pass", "task", "min CT", "sufferage", "machine"});
+    for (const auto& step : trace) {
+      table.add_row({std::to_string(step.pass),
+                     concat_label('t', step.task),
+                     TextTable::num(step.min_ct),
+                     TextTable::num(step.sufferage),
+                     concat_label('m', step.machine)});
+    }
+    std::printf("%s\n%s", title, table.to_string().c_str());
+  };
+
+  print_for(hcsched::sched::Problem::full(*example.matrix),
+            "-- Table 16 detail: pass-by-pass trace, original mapping --");
+
+  // First iterative problem: remove the original makespan machine and its
+  // tasks (computed, since the witness matrix decides them).
+  const auto result = hcsched::core::run_paper_example(example);
+  const auto span_machine = result.original().makespan_machine;
+  const auto dropped = result.original().schedule.tasks_on(span_machine);
+  const auto next = hcsched::sched::Problem::full(*example.matrix)
+                        .without_machine(span_machine, dropped);
+  print_for(next,
+            "-- Table 17 detail: pass-by-pass trace, first iterative "
+            "mapping --");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static const auto example = hcsched::core::sufferage_example();
+  const bool ok = hcsched::bench::print_example_reproduction(example);
+  print_sufferage_trace(example);
+  hcsched::bench::register_example_benchmarks(example);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Regenerates paper Tables 9-11 and Figures 11-12: the Switching Algorithm
+// worked example in which the makespan increases from 6 to 6.5 even with
+// deterministic tie-breaking, because removing the makespan machine changes
+// the balance-index trajectory (paper §3.5). Prints the BI / heuristic
+// columns of Tables 10 and 11.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "heuristics/swa.hpp"
+#include "report/table.hpp"
+
+namespace {
+inline std::string concat_label(char prefix, long long v) {
+  std::string out(1, prefix);
+  out += std::to_string(v);
+  return out;
+}
+}  // namespace
+
+namespace {
+
+void print_swa_trace(const hcsched::core::PaperExample& example) {
+  using hcsched::report::TextTable;
+  hcsched::heuristics::Swa swa;  // low 0.35, high 0.49 (DESIGN.md §4)
+
+  auto print_for = [&swa](const hcsched::sched::Problem& problem,
+                          const char* title) {
+    hcsched::rng::TieBreaker ties;
+    std::vector<hcsched::heuristics::SwaStep> trace;
+    swa.map_traced(problem, ties, &trace);
+    TextTable table({"task", "BI", "heuristic", "machine", "CT"});
+    for (const auto& step : trace) {
+      table.add_row({concat_label('t', step.task),
+                     step.balance_index.has_value()
+                         ? TextTable::num(*step.balance_index)
+                         : std::string("x"),
+                     hcsched::heuristics::to_string(step.mode),
+                     concat_label('m', step.machine),
+                     TextTable::num(step.completion)});
+    }
+    std::printf("%s\n%s", title, table.to_string().c_str());
+  };
+
+  print_for(hcsched::sched::Problem::full(*example.matrix),
+            "-- Table 10 detail: BI trace, original mapping "
+            "(paper: x, 0, 0, 1/3, 2/3; MCT x4 then MET) --");
+  print_for(hcsched::sched::Problem(*example.matrix, {1, 2, 3, 4}, {1, 2}),
+            "-- Table 11 detail: BI trace, first iterative mapping "
+            "(paper: x, 0, 1/2, 4/13; MCT, MCT, MET, MCT) --");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  static const auto example = hcsched::core::swa_example();
+  const bool ok = hcsched::bench::print_example_reproduction(example);
+  print_swa_trace(example);
+  hcsched::bench::register_example_benchmarks(example);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return ok ? 0 : 1;
+}

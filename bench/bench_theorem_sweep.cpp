@@ -1,0 +1,86 @@
+// Theorem sweep (paper §3.2-3.4): verifies at scale that Min-Min, MCT and
+// MET mappings are invariant under the iterative technique with
+// deterministic ties — and that SWA/KPB/Sufferage are not — then times the
+// verification itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/theorems.hpp"
+#include "core/witness.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using hcsched::core::verify_theorem;
+using hcsched::etc::CvbEtcGenerator;
+using hcsched::etc::CvbParams;
+using hcsched::rng::Rng;
+using hcsched::sched::Problem;
+
+constexpr std::size_t kMatricesPerHeuristic = 400;
+
+hcsched::etc::EtcMatrix tie_rich(Rng& rng, std::size_t tasks,
+                                 std::size_t machines) {
+  hcsched::etc::EtcMatrix m(tasks, machines);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (std::size_t j = 0; j < machines; ++j) {
+      m.at(static_cast<int>(t), static_cast<int>(j)) =
+          static_cast<double>(rng.between(1, 6));
+    }
+  }
+  return m;
+}
+
+void print_sweep_table() {
+  hcsched::report::TextTable table(
+      {"heuristic", "matrices", "invariant", "violations",
+       "paper theorem says"});
+  for (const char* name :
+       {"Min-Min", "MCT", "MET", "SWA", "KPB", "Sufferage"}) {
+    const auto heuristic = hcsched::heuristics::make_heuristic(name);
+    Rng rng(12345);
+    std::size_t invariant = 0;
+    for (std::size_t i = 0; i < kMatricesPerHeuristic; ++i) {
+      const auto m = tie_rich(rng, 12, 4);
+      if (verify_theorem(*heuristic, Problem::full(m)).holds) ++invariant;
+    }
+    const bool theorem_holds =
+        std::string(name) == "Min-Min" || std::string(name) == "MCT" ||
+        std::string(name) == "MET";
+    table.add_row({name, std::to_string(kMatricesPerHeuristic),
+                   std::to_string(invariant),
+                   std::to_string(kMatricesPerHeuristic - invariant),
+                   theorem_holds ? "always invariant" : "may change"});
+  }
+  std::printf(
+      "=== Theorem sweep (paper §3.2-3.4): mapping invariance under "
+      "deterministic ties, %zu tie-rich 12x4 matrices each ===\n%s\n",
+      kMatricesPerHeuristic, table.to_string().c_str());
+}
+
+void BM_VerifyTheorem(benchmark::State& state, const char* name) {
+  const auto heuristic = hcsched::heuristics::make_heuristic(name);
+  Rng rng(7);
+  const auto m = tie_rich(rng, 12, 4);
+  const Problem problem = Problem::full(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify_theorem(*heuristic, problem));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep_table();
+  benchmark::RegisterBenchmark("verify_theorem/MinMin", BM_VerifyTheorem,
+                               "Min-Min");
+  benchmark::RegisterBenchmark("verify_theorem/MCT", BM_VerifyTheorem, "MCT");
+  benchmark::RegisterBenchmark("verify_theorem/MET", BM_VerifyTheorem, "MET");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

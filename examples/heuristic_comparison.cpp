@@ -1,0 +1,91 @@
+// Heuristic comparison across the heterogeneity/consistency grid —
+// Braun-et-al-style makespan comparison of all ten heuristics, plus the
+// non-makespan metrics the paper's technique targets.
+//
+// Usage: heuristic_comparison [tasks] [machines] [trials] [seed]
+//        (defaults: 32 8 10 1)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "report/table.hpp"
+#include "sched/metrics.hpp"
+#include "sim/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcsched;
+  const auto tasks =
+      static_cast<std::size_t>(argc > 1 ? std::atoll(argv[1]) : 32);
+  const auto machines =
+      static_cast<std::size_t>(argc > 2 ? std::atoll(argv[2]) : 8);
+  const auto trials =
+      static_cast<std::size_t>(argc > 3 ? std::atoll(argv[3]) : 10);
+  const auto seed =
+      static_cast<std::uint64_t>(argc > 4 ? std::atoll(argv[4]) : 1);
+
+  const auto heuristics_set = heuristics::all_heuristics();
+
+  for (const etc::Consistency consistency :
+       {etc::Consistency::kInconsistent, etc::Consistency::kConsistent}) {
+    for (const auto& [cell, v_task, v_machine] :
+         {std::tuple{"HiHi", 0.9, 0.9}, std::tuple{"LoLo", 0.3, 0.3}}) {
+      // Mean makespan per heuristic, normalized by the per-trial best so
+      // heuristics are comparable across random instances.
+      std::map<std::string, sim::RunningStats> norm_makespan;
+      std::map<std::string, sim::RunningStats> mean_machine_ct;
+
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        rng::Rng rng = rng::Rng(seed).split(trial);
+        etc::CvbParams params;
+        params.num_tasks = tasks;
+        params.num_machines = machines;
+        params.v_task = v_task;
+        params.v_machine = v_machine;
+        const etc::EtcMatrix matrix = etc::shape_consistency(
+            etc::CvbEtcGenerator(params).generate(rng), consistency);
+        const sched::Problem problem = sched::Problem::full(matrix);
+
+        std::map<std::string, double> spans;
+        std::map<std::string, double> means;
+        double best = 0.0;
+        for (const auto& h : heuristics_set) {
+          rng::TieBreaker ties;
+          const sched::Schedule s = h->map(problem, ties);
+          spans[std::string(h->name())] = s.makespan();
+          means[std::string(h->name())] = sched::mean_completion(s);
+          if (best == 0.0 || s.makespan() < best) best = s.makespan();
+        }
+        for (const auto& [hname, span] : spans) {
+          norm_makespan[hname].add(span / best);
+          mean_machine_ct[hname].add(means[hname] / best);
+        }
+      }
+
+      report::TextTable table({"heuristic", "makespan / best", "+/- 95% CI",
+                               "mean machine CT / best"});
+      for (const auto& h : heuristics_set) {
+        const auto& ms = norm_makespan[std::string(h->name())];
+        const auto& mc = mean_machine_ct[std::string(h->name())];
+        table.add_row({std::string(h->name()),
+                       report::TextTable::num(ms.mean(), 3),
+                       report::TextTable::num(ms.ci95_half_width(), 3),
+                       report::TextTable::num(mc.mean(), 3)});
+      }
+      std::printf(
+          "=== %s %s — %zu tasks x %zu machines, %zu trials ===\n%s\n",
+          etc::to_string(consistency), cell, tasks, machines, trials,
+          table.to_string().c_str());
+    }
+  }
+  std::printf(
+      "Reading: 1.0 in column two means the heuristic produced the best "
+      "makespan of the ten on every instance. MET degrades badly on "
+      "consistent matrices (every task chases the same machine) — the "
+      "classic Braun et al. observation.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Iterative-technique study — the paper's research question as a CLI tool:
+// "can the iterative procedure reduce the finishing times of some machines
+// compared to the original mapping?" (paper §1-2).
+//
+// Runs the Monte-Carlo study over a chosen heuristic set and prints the
+// per-heuristic improvement/worsening profile, using every core of the
+// machine through the sim::ThreadPool.
+//
+// Usage: iterative_study [trials] [tasks] [machines] [ties] [seed]
+//        ties: det | random            (defaults: 50 24 6 det 7)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "report/table.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hcsched;
+  sim::StudyParams params;
+  params.trials = static_cast<std::size_t>(argc > 1 ? std::atoll(argv[1]) : 50);
+  params.cvb.num_tasks =
+      static_cast<std::size_t>(argc > 2 ? std::atoll(argv[2]) : 24);
+  params.cvb.num_machines =
+      static_cast<std::size_t>(argc > 3 ? std::atoll(argv[3]) : 6);
+  params.tie_policy = (argc > 4 && std::strcmp(argv[4], "random") == 0)
+                          ? rng::TiePolicy::kRandom
+                          : rng::TiePolicy::kDeterministic;
+  params.seed = static_cast<std::uint64_t>(argc > 5 ? std::atoll(argv[5]) : 7);
+  params.heuristics = {"MET",       "MCT", "Min-Min", "Genitor", "SWA",
+                       "Sufferage", "KPB"};
+
+  sim::ThreadPool pool;
+  std::printf(
+      "Iterative-technique study: %zu trials, %zu tasks x %zu machines, "
+      "%s ties, %zu worker thread(s)\n\n",
+      params.trials, params.cvb.num_tasks, params.cvb.num_machines,
+      params.tie_policy == rng::TiePolicy::kRandom ? "random"
+                                                   : "deterministic",
+      pool.size());
+
+  const auto rows = sim::run_iterative_study(params, pool);
+  report::TextTable table({"heuristic", "improved", "unchanged", "worsened",
+                           "mean dCT/CT", "95% CI", "makespan increases"});
+  for (const auto& row : rows) {
+    table.add_row(
+        {row.heuristic, std::to_string(row.machines_improved),
+         std::to_string(row.machines_unchanged),
+         std::to_string(row.machines_worsened),
+         report::TextTable::num(row.finish_delta.mean() * 100.0, 2) + "%",
+         report::TextTable::num(row.finish_delta.ci95_half_width() * 100.0,
+                                2) +
+             "%",
+         std::to_string(row.makespan_increases) + "/" +
+             std::to_string(row.trials)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Per-machine counts cover the non-makespan machines of each trial's "
+      "original mapping (the makespan machine's finishing time is frozen by "
+      "the technique's definition).\n"
+      "The paper's conclusions to look for: MET/MCT/Min-Min rows all "
+      "unchanged under deterministic ties; Genitor never increases the "
+      "makespan; SWA/KPB/Sufferage can improve machines AND can increase "
+      "the makespan.\n");
+  return 0;
+}

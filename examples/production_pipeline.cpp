@@ -1,0 +1,120 @@
+// Production pipeline — the paper's motivating scenario (§1).
+//
+// A production environment maps a known batch of tasks off-line. After
+// execution starts, tasks that were not initially considered keep arriving;
+// each is dispatched to the machine that becomes available soonest.
+// Minimizing the finishing times of *all* machines (not just makespan)
+// therefore lets late work start earlier.
+//
+// This example runs the batch mapping with and without the iterative
+// technique and measures how much sooner a stream of late-arriving tasks
+// completes.
+//
+// Usage: production_pipeline [heuristic] [seed]   (default: Sufferage 1)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/iterative.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace hcsched;
+
+/// Greedy online dispatch of late tasks given per-machine availability
+/// times: each task goes to the machine minimizing ready + ETC. Returns the
+/// completion time of the late batch (max over its tasks).
+double dispatch_late_tasks(const etc::EtcMatrix& late,
+                           std::vector<double> ready) {
+  double batch_completion = 0.0;
+  for (std::size_t t = 0; t < late.num_tasks(); ++t) {
+    std::size_t best = 0;
+    double best_ct = ready[0] + late.at(static_cast<int>(t), 0);
+    for (std::size_t m = 1; m < ready.size(); ++m) {
+      const double ct =
+          ready[m] + late.at(static_cast<int>(t), static_cast<int>(m));
+      if (ct < best_ct) {
+        best_ct = ct;
+        best = m;
+      }
+    }
+    ready[best] = best_ct;
+    if (best_ct > batch_completion) batch_completion = best_ct;
+  }
+  return batch_completion;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* name = argc > 1 ? argv[1] : "Sufferage";
+  const auto seed =
+      static_cast<std::uint64_t>(argc > 2 ? std::atoll(argv[2]) : 1);
+
+  // Off-line batch: 32 tasks on 8 machines; late stream: 12 more tasks.
+  rng::Rng rng(seed);
+  etc::CvbParams batch_params;
+  batch_params.num_tasks = 32;
+  batch_params.num_machines = 8;
+  batch_params.mean_task_time = 100.0;
+  const etc::EtcMatrix batch =
+      etc::CvbEtcGenerator(batch_params).generate(rng);
+  etc::CvbParams late_params = batch_params;
+  late_params.num_tasks = 12;
+  const etc::EtcMatrix late = etc::CvbEtcGenerator(late_params).generate(rng);
+
+  const sched::Problem problem = sched::Problem::full(batch);
+  const auto heuristic = heuristics::make_heuristic(name);
+
+  // Plan A: original mapping only.
+  rng::TieBreaker t1;
+  const sched::Schedule original = heuristic->map(problem, t1);
+  std::vector<double> ready_original = original.completion_times_by_slot();
+
+  // Plan B: iterative technique.
+  rng::TieBreaker t2;
+  const auto result = core::IterativeMinimizer{}.run(*heuristic, problem, t2);
+  std::vector<double> ready_iterative;
+  for (const auto& [machine, finish] : result.final_finishing_times) {
+    (void)machine;
+    ready_iterative.push_back(finish);
+  }
+
+  const double late_original = dispatch_late_tasks(late, ready_original);
+  const double late_iterative = dispatch_late_tasks(late, ready_iterative);
+
+  report::TextTable table(
+      {"plan", "batch makespan", "mean machine CT", "late batch done at"});
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  table.add_row({"original mapping only",
+                 report::TextTable::num(original.makespan(), 2),
+                 report::TextTable::num(mean(ready_original), 2),
+                 report::TextTable::num(late_original, 2)});
+  table.add_row({"iterative technique",
+                 report::TextTable::num(result.final_makespan(), 2),
+                 report::TextTable::num(mean(ready_iterative), 2),
+                 report::TextTable::num(late_iterative, 2)});
+  std::printf("Production scenario with %s (seed %llu):\n%s",
+              std::string(heuristic->name()).c_str(),
+              static_cast<unsigned long long>(seed),
+              table.to_string().c_str());
+  const double gain = late_original - late_iterative;
+  std::printf(
+      "Late 12-task batch finishes %s %s with the iterative technique.\n"
+      "(The paper shows this is heuristic-dependent: for MET/MCT/Min-Min "
+      "with deterministic ties nothing changes, and for SWA/KPB/Sufferage "
+      "it can go either way.)\n",
+      report::TextTable::num(gain < 0 ? -gain : gain, 2).c_str(),
+      gain > 0   ? "earlier"
+      : gain < 0 ? "later"
+                 : "at the same time");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "core/iterative.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace hcsched::core {
+
+double IterativeResult::final_finish_of(MachineId machine) const {
+  for (const auto& [m, t] : final_finishing_times) {
+    if (m == machine) return t;
+  }
+  throw std::invalid_argument("IterativeResult: machine " +
+                              std::to_string(machine) + " unknown");
+}
+
+std::vector<double> IterativeResult::original_finishing_times() const {
+  std::vector<double> out;
+  out.reserve(final_finishing_times.size());
+  for (const auto& [machine, unused] : final_finishing_times) {
+    (void)unused;
+    out.push_back(original().schedule.completion_time(machine));
+  }
+  return out;
+}
+
+double IterativeResult::final_makespan() const {
+  double best = 0.0;
+  for (const auto& [machine, finish] : final_finishing_times) {
+    (void)machine;
+    best = std::max(best, finish);
+  }
+  return best;
+}
+
+bool IterativeResult::makespan_increased(double epsilon) const {
+  return final_makespan() > original().makespan + epsilon;
+}
+
+IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
+                                        const Problem& problem,
+                                        TieBreaker& ties) const {
+  if (problem.num_machines() == 0) {
+    throw std::invalid_argument("IterativeMinimizer: no machines");
+  }
+  IterativeResult result;
+  // Final finishing times keyed in initial machine order; filled in as
+  // machines are removed.
+  for (MachineId m : problem.machines()) {
+    result.final_finishing_times.emplace_back(m, 0.0);
+  }
+  auto record_finish = [&result](MachineId machine, double finish) {
+    for (auto& [m, t] : result.final_finishing_times) {
+      if (m == machine) {
+        t = finish;
+        return;
+      }
+    }
+  };
+
+  Problem current = problem;
+  Schedule seed_storage;
+  const Schedule* seed = nullptr;
+  std::size_t index = 0;
+  for (;;) {
+    IterationRecord record;
+    record.index = index;
+    record.schedule = options_.use_seeding
+                          ? heuristic.map_seeded(current, ties, seed)
+                          : heuristic.map(current, ties);
+    record.makespan = record.schedule.makespan();
+    record.makespan_machine =
+        record.schedule.makespan_machine(options_.epsilon);
+    result.iterations.push_back(std::move(record));
+    const IterationRecord& done = result.iterations.back();
+
+    if (done.problem().num_machines() == 1 ||
+        done.problem().num_tasks() == 0) {
+      // Terminal iteration: every surviving machine keeps this mapping's
+      // completion time.
+      for (MachineId m : done.problem().machines()) {
+        record_finish(m, done.schedule.completion_time(m));
+      }
+      break;
+    }
+    // Freeze the makespan machine's finishing time and shrink the problem.
+    record_finish(done.makespan_machine, done.makespan);
+    const std::vector<TaskId> removed_tasks =
+        done.schedule.tasks_on(done.makespan_machine);
+    current = done.problem().without_machine(done.makespan_machine,
+                                             removed_tasks);
+    ++index;
+
+    // Seed for the next iteration: the just-produced mapping restricted to
+    // the surviving machines. Valid because removing the makespan machine
+    // removes exactly its tasks.
+    seed = nullptr;
+    if (options_.use_seeding) {
+      seed_storage = restrict_schedule(done.schedule, current);
+      seed = &seed_storage;
+    }
+  }
+  return result;
+}
+
+Schedule restrict_schedule(const Schedule& previous, const Problem& problem) {
+  Schedule out(problem);
+  for (TaskId t : problem.tasks()) {
+    const auto machine = previous.machine_of(t);
+    if (!machine.has_value()) {
+      throw std::invalid_argument(
+          "restrict_schedule: task not mapped by previous schedule");
+    }
+    out.assign(t, *machine);
+  }
+  return out;
+}
+
+}  // namespace hcsched::core

@@ -1,0 +1,144 @@
+#include "core/optimal.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hcsched::core {
+
+namespace {
+
+struct Searcher {
+  const sched::Problem& problem;
+  const OptimalOptions& options;
+  std::vector<std::size_t> task_order;   // branching order (indices into tasks)
+  std::vector<double> min_etc_suffix;    // LB: sum of per-task min ETC after depth d
+  std::vector<double> load;              // current load per machine slot
+  std::vector<std::uint32_t> assignment; // by task_order position
+  std::vector<std::uint32_t> best_assignment;
+  double best = std::numeric_limits<double>::infinity();
+  bool found_leaf = false;
+  bool complete = true;
+  std::uint64_t nodes = 0;
+
+  double min_etc(std::size_t task_pos) const {
+    const auto task = problem.tasks()[task_pos];
+    double lo = problem.etc_at(task, 0);
+    for (std::size_t m = 1; m < problem.num_machines(); ++m) {
+      lo = std::min(lo, problem.etc_at(task, m));
+    }
+    return lo;
+  }
+
+  void dfs(std::size_t depth, double current_max) {
+    if (++nodes > options.node_limit) {
+      complete = false;
+      return;
+    }
+    if (current_max >= best) return;  // bound
+    if (depth == task_order.size()) {
+      best = current_max;
+      best_assignment = assignment;
+      found_leaf = true;
+      return;
+    }
+    // Lower bound: even perfectly balanced remaining work cannot win.
+    // total load so far + remaining min-ETC work spread over all machines.
+    double total_load = 0.0;
+    for (double l : load) total_load += l;
+    const double balanced =
+        (total_load + min_etc_suffix[depth]) /
+        static_cast<double>(problem.num_machines());
+    if (std::max(current_max, balanced) >= best) return;
+
+    const std::size_t task_pos = task_order[depth];
+    const auto task = problem.tasks()[task_pos];
+
+    // Branch machines in ascending load (find good incumbents early).
+    std::vector<std::size_t> machine_order(problem.num_machines());
+    std::iota(machine_order.begin(), machine_order.end(), std::size_t{0});
+    std::sort(machine_order.begin(), machine_order.end(),
+              [&](std::size_t a, std::size_t b) { return load[a] < load[b]; });
+
+    for (std::size_t slot : machine_order) {
+      const double etc_value = problem.etc_at(task, slot);
+      const double new_load = load[slot] + etc_value;
+      if (new_load >= best) continue;
+      load[slot] = new_load;
+      assignment[depth] = static_cast<std::uint32_t>(slot);
+      dfs(depth + 1, std::max(current_max, new_load));
+      load[slot] = new_load - etc_value;
+      if (!complete) return;
+    }
+  }
+};
+
+}  // namespace
+
+OptimalResult solve_optimal(const sched::Problem& problem,
+                            OptimalOptions options) {
+  if (problem.num_machines() == 0) {
+    throw std::invalid_argument("solve_optimal: no machines");
+  }
+  Searcher search{problem, options, {}, {}, {}, {}, {}};
+  const std::size_t n = problem.num_tasks();
+
+  // Branch hardest (largest minimum ETC) tasks first.
+  search.task_order.resize(n);
+  std::iota(search.task_order.begin(), search.task_order.end(),
+            std::size_t{0});
+  std::vector<double> min_etcs(n);
+  for (std::size_t i = 0; i < n; ++i) min_etcs[i] = search.min_etc(i);
+  std::sort(search.task_order.begin(), search.task_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return min_etcs[a] > min_etcs[b];
+            });
+
+  search.min_etc_suffix.assign(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    search.min_etc_suffix[i] =
+        search.min_etc_suffix[i + 1] + min_etcs[search.task_order[i]];
+  }
+
+  search.load = problem.initial_ready_times();
+  search.assignment.assign(n, 0);
+  search.best_assignment.assign(n, 0);
+  if (options.initial_upper_bound >= 0.0) {
+    // Prune against the warm start; +epsilon so an equal solution is still
+    // reconstructed by the search itself.
+    search.best = options.initial_upper_bound + 1e-12;
+  }
+  double initial_max = 0.0;
+  for (double r : search.load) initial_max = std::max(initial_max, r);
+  search.dfs(0, initial_max);
+
+  OptimalResult result;
+  result.nodes_explored = search.nodes;
+  result.proven_optimal = search.complete;
+  if (!search.found_leaf) {
+    // Either the node limit was hit before any leaf, or a warm start was
+    // supplied and nothing strictly better exists. Return a valid fallback
+    // schedule; proven_optimal then means "the warm start is unbeaten".
+    sched::Schedule fallback(problem);
+    for (auto task : problem.tasks()) {
+      fallback.assign(task, problem.machines()[0]);
+    }
+    result.schedule = std::move(fallback);
+    result.makespan = result.schedule.makespan();
+    result.proven_optimal =
+        search.complete && options.initial_upper_bound >= 0.0;
+    return result;
+  }
+  sched::Schedule schedule(problem);
+  for (std::size_t depth = 0; depth < n; ++depth) {
+    const std::size_t task_pos = search.task_order[depth];
+    schedule.assign(problem.tasks()[task_pos],
+                    problem.machines()[search.best_assignment[depth]]);
+  }
+  result.schedule = std::move(schedule);
+  result.makespan = result.schedule.makespan();
+  return result;
+}
+
+}  // namespace hcsched::core

@@ -1,0 +1,42 @@
+// Exact makespan minimization by branch-and-bound — the optimality oracle.
+//
+// Depth-first search over task -> machine assignments with three classic
+// prunings:
+//   * bound:     a partial assignment whose current max load already
+//                reaches the incumbent is cut;
+//   * lower bound: remaining work / |M| plus the best per-task minimum ETC
+//                cannot beat the incumbent -> cut;
+//   * symmetry:  tasks are branched in descending order of minimum ETC
+//                (hardest first), machines in ascending current load.
+//
+// Exponential in general (the problem is NP-hard: R||Cmax); intended for
+// the small instances used by tests (optimal-vs-heuristic oracles) and the
+// EXT-9 optimality-gap study. `node_limit` bounds the search; when it is
+// hit the result is the best incumbent found and `proven_optimal` is false.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace hcsched::core {
+
+struct OptimalResult {
+  sched::Schedule schedule{};   ///< best mapping found
+  double makespan = 0.0;
+  bool proven_optimal = false;  ///< search completed within the node limit
+  std::uint64_t nodes_explored = 0;
+};
+
+struct OptimalOptions {
+  std::uint64_t node_limit = 50'000'000;
+  /// Optional warm start: prune against this makespan from the first node.
+  double initial_upper_bound = -1.0;  ///< < 0 means none
+};
+
+/// Exact (or node-limited) makespan minimization for `problem`.
+OptimalResult solve_optimal(const sched::Problem& problem,
+                            OptimalOptions options = {});
+
+}  // namespace hcsched::core

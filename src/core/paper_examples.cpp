@@ -1,0 +1,225 @@
+#include "core/paper_examples.hpp"
+
+#include <cmath>
+
+#include "heuristics/registry.hpp"
+
+namespace hcsched::core {
+
+namespace {
+
+std::shared_ptr<const etc::EtcMatrix> matrix_of(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  return std::make_shared<const etc::EtcMatrix>(
+      etc::EtcMatrix::from_rows(rows));
+}
+
+}  // namespace
+
+PaperExample minmin_example() {
+  PaperExample ex;
+  ex.id = "minmin";
+  ex.table_refs = "Tables 1-3";
+  ex.figure_refs = "Figures 3-4";
+  ex.heuristic = "Min-Min";
+  // Reconstruction: original mapping (deterministic ties) completes at
+  // (5, 2, 4) with makespan machine m0 = {t0}; breaking the two ties the
+  // other way in the first iterative mapping yields (1, 6) on m1/m2 — the
+  // paper's "5 (same), 1, 6", makespan 5 -> 6.
+  ex.matrix = matrix_of({
+      {5, 9, 9},  // t0 -> m0 (the makespan machine's task)
+      {9, 1, 2},  // t1: phase-2 tie with t2; m1/m2 tie once m1 is busy
+      {9, 1, 9},  // t2
+      {9, 9, 4},  // t3
+  });
+  // Tie 1 (iteration 0, phase 2): {t1, t2} -> t1 (deterministic outcome).
+  // Tie 2 (iteration 1, phase 2): {t1, t2} -> t2 (the random outcome).
+  // Tie 3 (iteration 1, phase 1 for t1): {m1, m2} -> m2.
+  ex.tie_script = {0, 1, 1};
+  ex.expected_original_ct = {5, 2, 4};
+  ex.expected_final_ct = {5, 1, 6};
+  ex.expected_original_makespan = 5;
+  ex.expected_final_makespan = 6;
+  ex.notes =
+      "Random tie-breaking makes Min-Min's makespan increase (paper §3.2).";
+  return ex;
+}
+
+PaperExample mct_example() {
+  PaperExample ex;
+  ex.id = "mct";
+  ex.table_refs = "Tables 4-6";
+  ex.figure_refs = "Figures 6-7";
+  ex.heuristic = "MCT";
+  // Reconstruction: mapping order t0..t3. t0 ties between m1 and m2; the
+  // original (deterministic) mapping puts it on m1 giving completions
+  // (4, 3, 3); re-breaking the tie to m2 in the first iterative mapping
+  // gives (1, 5) — the paper's "4 (same), 1, 5", makespan 4 -> 5.
+  ex.matrix = matrix_of({
+      {9, 2, 2},  // t0: the tied task
+      {4, 9, 9},  // t1 -> m0 (the makespan machine's task)
+      {9, 1, 9},  // t2
+      {9, 9, 3},  // t3
+  });
+  ex.tie_script = {0, 1};  // iteration 0: t0 -> m1; iteration 1: t0 -> m2
+  ex.expected_original_ct = {4, 3, 3};
+  ex.expected_final_ct = {4, 1, 5};
+  ex.expected_original_makespan = 4;
+  ex.expected_final_makespan = 5;
+  ex.notes =
+      "Random tie-breaking makes MCT's makespan increase (paper §3.3).";
+  return ex;
+}
+
+PaperExample met_example() {
+  PaperExample ex = mct_example();  // the paper reuses Table 4's matrix
+  ex.id = "met";
+  ex.table_refs = "Tables 4, 7-8";
+  ex.figure_refs = "Figures 9-10";
+  ex.heuristic = "MET";
+  // Same tie structure: t0 has two minimum-execution-time machines.
+  ex.tie_script = {0, 1};
+  ex.expected_original_ct = {4, 3, 3};
+  ex.expected_final_ct = {4, 1, 5};
+  ex.expected_original_makespan = 4;
+  ex.expected_final_makespan = 5;
+  ex.notes =
+      "Random tie-breaking makes MET's makespan increase (paper §3.4).";
+  return ex;
+}
+
+PaperExample swa_example() {
+  PaperExample ex;
+  ex.id = "swa";
+  ex.table_refs = "Tables 9-11";
+  ex.figure_refs = "Figures 11-12";
+  ex.heuristic = "SWA";
+  // Reconstruction matching the paper's BI traces exactly:
+  //   original:   BI = x, 0, 0, 1/3, 2/3; modes MCT,MCT,MCT,MCT,MET;
+  //               completions (6, 5, 5), makespan machine m0 = {t0}.
+  //   iteration 1: BI = x, 0, 1/2, 4/13; modes MCT,MCT,MET,MCT;
+  //               completions (4, 6.5) on m1/m2 -> makespan 6 -> 6.5.
+  // Thresholds: high 0.49 (from the paper), low 0.35 (OCR-damaged; any
+  // value in (4/13, 0.49) reproduces the trace — DESIGN.md §4).
+  ex.matrix = matrix_of({
+      {6, 7, 7},      // t0 -> m0
+      {9, 2, 5},      // t1
+      {9, 5, 4},      // t2
+      {9, 3, 2.5},    // t3: MET machine flips to m2 once m0 is gone
+      {9, 2, 1},      // t4
+  });
+  ex.tie_script = {};  // deterministic ties throughout
+  ex.expected_original_ct = {6, 5, 5};
+  ex.expected_final_ct = {6, 4, 6.5};
+  ex.expected_original_makespan = 6;
+  ex.expected_final_makespan = 6.5;
+  ex.notes =
+      "SWA's makespan increases even with deterministic ties (paper §3.5): "
+      "removing the makespan machine changes the balance-index trajectory.";
+  return ex;
+}
+
+PaperExample kpb_example() {
+  PaperExample ex;
+  ex.id = "kpb";
+  ex.table_refs = "Tables 12-14";
+  ex.figure_refs = "Figures 15-16";
+  ex.heuristic = "KPB";
+  // Reconstruction: k = 70%. With 3 machines the subset holds the best two
+  // machines; original completions (6, 5, 5.5), makespan machine m0 = {t0}.
+  // With 2 machines the subset degenerates to one machine (MET behavior):
+  // every remaining task chases its best ETC, piling (7, 3) onto m1/m2 —
+  // makespan 6 -> 7 with deterministic ties.
+  ex.matrix = matrix_of({
+      {6, 8, 9},      // t0 -> m0
+      {9, 2, 7},      // t1
+      {9, 7, 3},      // t2
+      {9, 3, 4},      // t3
+      {9, 2, 2.5},    // t4
+  });
+  ex.tie_script = {};
+  ex.expected_original_ct = {6, 5, 5.5};
+  ex.expected_final_ct = {6, 7, 3};
+  ex.expected_original_makespan = 6;
+  ex.expected_final_makespan = 7;
+  ex.notes =
+      "KPB's makespan increases even with deterministic ties (paper §3.6): "
+      "the k-percent subset shrinks to a single machine.";
+  return ex;
+}
+
+PaperExample sufferage_example() {
+  PaperExample ex;
+  ex.id = "sufferage";
+  ex.table_refs = "Tables 15-17";
+  ex.figure_refs = "Figures 18-19";
+  ex.heuristic = "Sufferage";
+  // The paper's 9x3 matrix did not survive transcription; this is a witness
+  // of the same shape found by core/witness search (seed 1, 89th sampled
+  // matrix) that exhibits the same phenomenon: a deterministic-tie makespan
+  // increase across iterations. Expected values were measured from this
+  // implementation and locked in as a regression oracle (paper reported
+  // 10/9.5/9.5 -> 10.5; this witness gives 8/8.5/7 -> 10/8.5/5).
+  ex.matrix = matrix_of({
+      {8, 1, 3.5},
+      {9, 7, 4},
+      {7, 1.5, 7},
+      {1, 1, 9},
+      {7, 6, 5},
+      {9, 6, 1},
+      {2, 1, 2},
+      {6, 6, 5},
+      {1, 9, 7},
+  });
+  ex.tie_script = {};
+  ex.expected_original_ct = {8, 8.5, 7};
+  ex.expected_final_ct = {10, 8.5, 5};
+  ex.expected_original_makespan = 8.5;
+  ex.expected_final_makespan = 10;
+  ex.notes =
+      "Sufferage's makespan can increase even with deterministic ties "
+      "(paper §3.7); matrix regenerated by witness search, paper values "
+      "unrecoverable from the OCR.";
+  return ex;
+}
+
+std::vector<PaperExample> all_paper_examples() {
+  return {minmin_example(), mct_example(),      met_example(),
+          swa_example(),    kpb_example(),      sufferage_example()};
+}
+
+IterativeResult run_paper_example(const PaperExample& example) {
+  const auto heuristic = heuristics::make_heuristic(example.heuristic);
+  const Problem problem = Problem::full(*example.matrix);
+  IterativeMinimizer minimizer{IterativeOptions{.use_seeding = false}};
+  if (example.tie_script.empty()) {
+    TieBreaker deterministic;
+    return minimizer.run(*heuristic, problem, deterministic);
+  }
+  TieBreaker scripted(example.tie_script);
+  return minimizer.run(*heuristic, problem, scripted);
+}
+
+bool example_matches(const PaperExample& example,
+                     const IterativeResult& result, double epsilon) {
+  if (example.expected_original_ct.empty()) return true;  // measure-only
+  const auto& original = result.original().schedule;
+  for (std::size_t m = 0; m < example.expected_original_ct.size(); ++m) {
+    if (std::fabs(original.completion_time(static_cast<MachineId>(m)) -
+                  example.expected_original_ct[m]) > epsilon) {
+      return false;
+    }
+  }
+  for (std::size_t m = 0; m < example.expected_final_ct.size(); ++m) {
+    if (std::fabs(result.final_finish_of(static_cast<MachineId>(m)) -
+                  example.expected_final_ct[m]) > epsilon) {
+      return false;
+    }
+  }
+  return std::fabs(result.original().makespan -
+                   example.expected_original_makespan) <= epsilon &&
+         std::fabs(result.final_makespan() -
+                   example.expected_final_makespan) <= epsilon;
+}
+
+}  // namespace hcsched::core

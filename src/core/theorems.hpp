@@ -1,0 +1,52 @@
+// Executable forms of the paper's theorems (§3.2-3.4) and the Genitor
+// monotonicity claim (§3.1).
+//
+// The theorems state: with deterministic tie-breaking, the mapping produced
+// by Min-Min / MCT / MET at iteration i+1 is identical to iteration i's
+// mapping restricted to the surviving machines — equivalently, a machine's
+// finishing time never changes between the original mapping and the
+// iteration at which it is removed. These checkers evaluate that property on
+// concrete instances; the property-based tests sweep them over thousands of
+// random ETC matrices.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/iterative.hpp"
+
+namespace hcsched::core {
+
+struct InvarianceReport {
+  bool holds = true;
+  /// Human-readable description of the first violation found (empty when
+  /// `holds`).
+  std::string violation{};
+};
+
+/// Checks the mapping-invariance property on an already-computed run: for
+/// every consecutive pair of iterations, each surviving task keeps its
+/// machine and each surviving machine keeps its completion time.
+InvarianceReport check_mapping_invariance(const IterativeResult& result,
+                                          double epsilon = 1e-9);
+
+/// Convenience: runs `heuristic` iteratively with deterministic ties on
+/// `problem` and checks invariance.
+InvarianceReport verify_theorem(const Heuristic& heuristic,
+                                const Problem& problem,
+                                double epsilon = 1e-9);
+
+/// Checks the Genitor-style monotonicity property: per-iteration makespans
+/// never increase the *effective* makespan, i.e. every iteration's makespan
+/// is at most the completion time the removed machines froze before it —
+/// equivalently final_makespan() == original makespan or better on every
+/// machine. Returns the first violation.
+InvarianceReport check_monotone_makespan(const IterativeResult& result,
+                                         double epsilon = 1e-9);
+
+/// Per-machine comparison: final finishing time vs original finishing time;
+/// `true` when no machine finished later than in the original mapping.
+bool no_machine_worsened(const IterativeResult& result,
+                         double epsilon = 1e-9);
+
+}  // namespace hcsched::core

@@ -1,0 +1,93 @@
+#include "etc/consistency.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hcsched::etc {
+
+namespace {
+
+/// Checks that the given columns are mutually consistently ordered: there is
+/// a single permutation of `columns` that sorts every row.
+bool columns_consistent(const EtcMatrix& m,
+                        const std::vector<std::size_t>& columns) {
+  if (m.num_tasks() == 0 || columns.size() < 2) return true;
+  // Order induced by the first row.
+  std::vector<std::size_t> order = columns;
+  const auto row0 = m.row(0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return row0[a] < row0[b]; });
+  for (std::size_t t = 1; t < m.num_tasks(); ++t) {
+    const auto row = m.row(static_cast<TaskId>(t));
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      if (row[order[i - 1]] > row[order[i]]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EtcMatrix shape_consistency(const EtcMatrix& m, Consistency c) {
+  EtcMatrix out = m;
+  const std::size_t machines = m.num_machines();
+  if (machines < 2) return out;
+  switch (c) {
+    case Consistency::kInconsistent:
+      break;
+    case Consistency::kConsistent: {
+      std::vector<double> row(machines);
+      for (std::size_t t = 0; t < m.num_tasks(); ++t) {
+        const auto src = m.row(static_cast<TaskId>(t));
+        row.assign(src.begin(), src.end());
+        std::sort(row.begin(), row.end());
+        for (std::size_t j = 0; j < machines; ++j) {
+          out.at(static_cast<TaskId>(t), static_cast<MachineId>(j)) = row[j];
+        }
+      }
+      break;
+    }
+    case Consistency::kSemiConsistent: {
+      std::vector<double> evens;
+      for (std::size_t t = 0; t < m.num_tasks(); ++t) {
+        const auto src = m.row(static_cast<TaskId>(t));
+        evens.clear();
+        for (std::size_t j = 0; j < machines; j += 2) evens.push_back(src[j]);
+        std::sort(evens.begin(), evens.end());
+        std::size_t k = 0;
+        for (std::size_t j = 0; j < machines; j += 2) {
+          out.at(static_cast<TaskId>(t), static_cast<MachineId>(j)) =
+              evens[k++];
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool is_consistent(const EtcMatrix& m) {
+  std::vector<std::size_t> all(m.num_machines());
+  for (std::size_t j = 0; j < all.size(); ++j) all[j] = j;
+  return columns_consistent(m, all);
+}
+
+bool is_semi_consistent(const EtcMatrix& m) {
+  std::vector<std::size_t> evens;
+  for (std::size_t j = 0; j < m.num_machines(); j += 2) evens.push_back(j);
+  return columns_consistent(m, evens);
+}
+
+const char* to_string(Consistency c) noexcept {
+  switch (c) {
+    case Consistency::kInconsistent:
+      return "inconsistent";
+    case Consistency::kSemiConsistent:
+      return "semi-consistent";
+    case Consistency::kConsistent:
+      return "consistent";
+  }
+  return "?";
+}
+
+}  // namespace hcsched::etc

@@ -1,0 +1,34 @@
+// ETC consistency shaping (Braun et al. 2001 taxonomy).
+//
+// * Consistent: if machine a is faster than machine b for one task it is
+//   faster for every task — produced by sorting every row with a shared
+//   column order (here: ascending within each row, which after sorting makes
+//   column 0 the universally fastest machine).
+// * Semi-consistent: only the even-indexed columns are mutually consistent;
+//   odd columns keep their raw (inconsistent) values.
+// * Inconsistent: the raw generated matrix.
+#pragma once
+
+#include "etc/etc_matrix.hpp"
+
+namespace hcsched::etc {
+
+enum class Consistency : std::uint8_t {
+  kInconsistent,
+  kSemiConsistent,
+  kConsistent,
+};
+
+/// Returns a copy of `m` shaped to the requested consistency class.
+EtcMatrix shape_consistency(const EtcMatrix& m, Consistency c);
+
+/// True when every pair of columns is consistently ordered across all rows.
+bool is_consistent(const EtcMatrix& m);
+
+/// True when the even-indexed columns are consistently ordered across rows.
+bool is_semi_consistent(const EtcMatrix& m);
+
+/// Human-readable label ("consistent", ...).
+const char* to_string(Consistency c) noexcept;
+
+}  // namespace hcsched::etc

@@ -1,0 +1,28 @@
+#include "etc/cvb_generator.hpp"
+
+#include <stdexcept>
+
+namespace hcsched::etc {
+
+EtcMatrix CvbEtcGenerator::generate(rng::Rng& rng) const {
+  if (params_.v_task <= 0.0 || params_.v_machine <= 0.0 ||
+      params_.mean_task_time <= 0.0) {
+    throw std::invalid_argument("CvbEtcGenerator: parameters must be > 0");
+  }
+  const double alpha_task = 1.0 / (params_.v_task * params_.v_task);
+  const double beta_task = params_.mean_task_time / alpha_task;
+  const double alpha_mach = 1.0 / (params_.v_machine * params_.v_machine);
+
+  EtcMatrix m(params_.num_tasks, params_.num_machines);
+  for (std::size_t t = 0; t < params_.num_tasks; ++t) {
+    const double q = rng.gamma(alpha_task, beta_task);
+    const double beta_mach = q / alpha_mach;
+    for (std::size_t j = 0; j < params_.num_machines; ++j) {
+      m.at(static_cast<TaskId>(t), static_cast<MachineId>(j)) =
+          rng.gamma(alpha_mach, beta_mach);
+    }
+  }
+  return m;
+}
+
+}  // namespace hcsched::etc

@@ -1,0 +1,39 @@
+// Coefficient-of-variation-based (CVB) ETC generation (Ali, Siegel,
+// Maheswaran, Hensgen & Ali 2000 — the method used throughout the research
+// group's later studies, cited as [1] in the paper).
+//
+// Task heterogeneity V_task and machine heterogeneity V_mach are expressed
+// as coefficients of variation of gamma distributions:
+//   alpha_task = 1 / V_task^2,          beta_task = mean_task / alpha_task
+//   q(t)      ~ Gamma(alpha_task, beta_task)                (per-task mean)
+//   alpha_mach = 1 / V_mach^2
+//   ETC(t, m) ~ Gamma(alpha_mach, q(t) / alpha_mach)
+// giving E[ETC(t, .)] = q(t) and CoV V_mach within a row.
+#pragma once
+
+#include "etc/etc_matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace hcsched::etc {
+
+struct CvbParams {
+  std::size_t num_tasks = 0;
+  std::size_t num_machines = 0;
+  double mean_task_time = 1000.0;  ///< mean of the per-task baseline q(t)
+  double v_task = 0.6;             ///< task-heterogeneity CoV (> 0)
+  double v_machine = 0.6;          ///< machine-heterogeneity CoV (> 0)
+};
+
+class CvbEtcGenerator {
+ public:
+  explicit CvbEtcGenerator(CvbParams params) : params_(params) {}
+
+  EtcMatrix generate(rng::Rng& rng) const;
+
+  const CvbParams& params() const noexcept { return params_; }
+
+ private:
+  CvbParams params_;
+};
+
+}  // namespace hcsched::etc

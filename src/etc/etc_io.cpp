@@ -1,0 +1,69 @@
+#include "etc/etc_io.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace hcsched::etc {
+
+void write_csv(std::ostream& os, const EtcMatrix& m) {
+  os << m.num_tasks() << ',' << m.num_machines() << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (std::size_t t = 0; t < m.num_tasks(); ++t) {
+    const auto row = m.row(static_cast<TaskId>(t));
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      if (j != 0) os << ',';
+      os << row[j];
+    }
+    os << '\n';
+  }
+}
+
+EtcMatrix read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("EtcMatrix CSV: missing header");
+  }
+  std::size_t tasks = 0;
+  std::size_t machines = 0;
+  {
+    std::istringstream header(line);
+    char comma = 0;
+    if (!(header >> tasks >> comma >> machines) || comma != ',') {
+      throw std::runtime_error("EtcMatrix CSV: malformed header '" + line +
+                               "'");
+    }
+  }
+  EtcMatrix m(tasks, machines);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("EtcMatrix CSV: truncated at row " +
+                               std::to_string(t));
+    }
+    std::istringstream row(line);
+    std::string cell;
+    for (std::size_t j = 0; j < machines; ++j) {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error("EtcMatrix CSV: short row " +
+                                 std::to_string(t));
+      }
+      m.at(static_cast<TaskId>(t), static_cast<MachineId>(j)) =
+          std::stod(cell);
+    }
+  }
+  return m;
+}
+
+std::string to_csv(const EtcMatrix& m) {
+  std::ostringstream os;
+  write_csv(os, m);
+  return os.str();
+}
+
+EtcMatrix from_csv(const std::string& text) {
+  std::istringstream is(text);
+  return read_csv(is);
+}
+
+}  // namespace hcsched::etc

@@ -1,0 +1,20 @@
+// CSV-style serialization of ETC matrices.
+//
+// Format: one header line `tasks,machines`, then one comma-separated row per
+// task. Round-trips exactly via max_digits10 formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "etc/etc_matrix.hpp"
+
+namespace hcsched::etc {
+
+void write_csv(std::ostream& os, const EtcMatrix& m);
+EtcMatrix read_csv(std::istream& is);
+
+std::string to_csv(const EtcMatrix& m);
+EtcMatrix from_csv(const std::string& text);
+
+}  // namespace hcsched::etc

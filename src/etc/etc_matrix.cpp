@@ -1,0 +1,45 @@
+#include "etc/etc_matrix.hpp"
+
+#include <algorithm>
+
+namespace hcsched::etc {
+
+EtcMatrix EtcMatrix::from_rows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  std::vector<std::vector<double>> copy;
+  copy.reserve(rows.size());
+  for (const auto& r : rows) copy.emplace_back(r);
+  return from_rows(copy);
+}
+
+EtcMatrix EtcMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  EtcMatrix m;
+  m.tasks_ = rows.size();
+  m.machines_ = rows.empty() ? 0 : rows.front().size();
+  m.values_.reserve(m.tasks_ * m.machines_);
+  for (const auto& r : rows) {
+    if (r.size() != m.machines_) {
+      throw std::invalid_argument("EtcMatrix::from_rows: ragged rows");
+    }
+    m.values_.insert(m.values_.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+double EtcMatrix::total() const noexcept {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+double EtcMatrix::min_value() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double EtcMatrix::max_value() const noexcept {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+}  // namespace hcsched::etc

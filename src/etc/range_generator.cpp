@@ -1,0 +1,48 @@
+#include "etc/range_generator.hpp"
+
+#include <stdexcept>
+
+namespace hcsched::etc {
+
+RangeParams range_preset(Heterogeneity h, std::size_t num_tasks,
+                         std::size_t num_machines) {
+  RangeParams p;
+  p.num_tasks = num_tasks;
+  p.num_machines = num_machines;
+  switch (h) {
+    case Heterogeneity::kHiHi:
+      p.task_range = 3000.0;
+      p.machine_range = 1000.0;
+      break;
+    case Heterogeneity::kHiLo:
+      p.task_range = 3000.0;
+      p.machine_range = 10.0;
+      break;
+    case Heterogeneity::kLoHi:
+      p.task_range = 100.0;
+      p.machine_range = 1000.0;
+      break;
+    case Heterogeneity::kLoLo:
+      p.task_range = 100.0;
+      p.machine_range = 10.0;
+      break;
+  }
+  return p;
+}
+
+EtcMatrix RangeEtcGenerator::generate(rng::Rng& rng) const {
+  if (params_.task_range < 1.0 || params_.machine_range < 1.0) {
+    throw std::invalid_argument("RangeEtcGenerator: ranges must be >= 1");
+  }
+  EtcMatrix m(params_.num_tasks, params_.num_machines);
+  for (std::size_t t = 0; t < params_.num_tasks; ++t) {
+    const double baseline = rng.uniform(1.0, params_.task_range);
+    for (std::size_t j = 0; j < params_.num_machines; ++j) {
+      m.at(static_cast<TaskId>(t), static_cast<MachineId>(j)) =
+          baseline * rng.uniform(1.0, params_.machine_range);
+    }
+  }
+  return m;
+}
+
+}  // namespace hcsched::etc

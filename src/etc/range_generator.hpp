@@ -1,0 +1,40 @@
+// Range-based ETC generation (Braun et al. 2001, cited as [3] in the paper).
+//
+// For each task t a baseline tau(t) ~ U[1, R_task] is drawn; entry (t, m) is
+// tau(t) * U[1, R_mach]. R_task controls task heterogeneity and R_mach
+// machine heterogeneity. The classic HiHi/HiLo/LoHi/LoLo regimes from the
+// literature are provided as presets.
+#pragma once
+
+#include "etc/etc_matrix.hpp"
+#include "rng/rng.hpp"
+
+namespace hcsched::etc {
+
+struct RangeParams {
+  std::size_t num_tasks = 0;
+  std::size_t num_machines = 0;
+  double task_range = 100.0;     ///< R_task: baselines drawn from U[1, R_task]
+  double machine_range = 100.0;  ///< R_mach: multipliers from U[1, R_mach]
+};
+
+/// The four canonical heterogeneity regimes of Braun et al.
+enum class Heterogeneity : std::uint8_t { kHiHi, kHiLo, kLoHi, kLoLo };
+
+/// Preset ranges: high = 3000 (tasks) / 1000 (machines), low = 100 / 10.
+RangeParams range_preset(Heterogeneity h, std::size_t num_tasks,
+                         std::size_t num_machines);
+
+class RangeEtcGenerator {
+ public:
+  explicit RangeEtcGenerator(RangeParams params) : params_(params) {}
+
+  EtcMatrix generate(rng::Rng& rng) const;
+
+  const RangeParams& params() const noexcept { return params_; }
+
+ private:
+  RangeParams params_;
+};
+
+}  // namespace hcsched::etc

@@ -1,0 +1,48 @@
+// Chromosome: one candidate mapping for Genitor (paper §3.1, Figure 1).
+//
+// genes[i] is the machine *slot* (position in Problem::machines()) assigned
+// to the i-th task of Problem::tasks(). Slots rather than machine ids keep
+// chromosomes valid as the iterative technique shrinks the machine set: a
+// fresh chromosome is always expressed against the current problem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "sched/schedule.hpp"
+
+namespace hcsched::ga {
+
+using sched::Problem;
+using sched::Schedule;
+
+class Chromosome {
+ public:
+  Chromosome() = default;
+  explicit Chromosome(std::vector<std::uint32_t> genes)
+      : genes_(std::move(genes)) {}
+
+  /// Uniformly random mapping.
+  static Chromosome random(const Problem& problem, rng::Rng& rng);
+
+  /// Chromosome encoding an existing schedule of the same problem.
+  static Chromosome from_schedule(const Problem& problem, const Schedule& s);
+
+  const std::vector<std::uint32_t>& genes() const noexcept { return genes_; }
+  std::vector<std::uint32_t>& genes() noexcept { return genes_; }
+  std::size_t size() const noexcept { return genes_.size(); }
+
+  /// Makespan of the encoded mapping (no Schedule materialization).
+  double evaluate(const Problem& problem) const;
+
+  /// Materializes the mapping as a Schedule (tasks assigned in list order).
+  Schedule decode(const Problem& problem) const;
+
+  bool operator==(const Chromosome&) const = default;
+
+ private:
+  std::vector<std::uint32_t> genes_{};
+};
+
+}  // namespace hcsched::ga

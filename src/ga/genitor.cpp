@@ -1,0 +1,85 @@
+#include "ga/genitor.hpp"
+
+#include <stdexcept>
+
+#include "ga/operators.hpp"
+#include "heuristics/minmin.hpp"
+
+namespace hcsched::ga {
+
+Genitor::Genitor(GenitorConfig config) : config_(config) {
+  if (config_.population_size < 2) {
+    throw std::invalid_argument("Genitor: population_size must be >= 2");
+  }
+}
+
+Schedule Genitor::map(const Problem& problem,
+                      heuristics::TieBreaker& ties) const {
+  return map_seeded(problem, ties, nullptr);
+}
+
+Schedule Genitor::map_seeded(const Problem& problem,
+                             heuristics::TieBreaker& ties,
+                             const Schedule* seed) const {
+  if (problem.num_machines() == 0) {
+    throw std::invalid_argument("Genitor: no machines");
+  }
+  rng::Rng rng(config_.seed);
+
+  Population population(config_.population_size, config_.selection_bias);
+  if (seed != nullptr) {
+    Chromosome c = Chromosome::from_schedule(problem, *seed);
+    const double fit = c.evaluate(problem);
+    population.insert(Member{std::move(c), fit});
+  }
+  if (config_.seed_with_minmin) {
+    heuristics::MinMin minmin;
+    rng::TieBreaker det;  // deterministic ties for the seed mapping
+    Chromosome c = Chromosome::from_schedule(problem, minmin.map(problem, det));
+    const double fit = c.evaluate(problem);
+    population.insert(Member{std::move(c), fit});
+  }
+  while (population.size() < config_.population_size) {
+    Chromosome c = Chromosome::random(problem, rng);
+    const double fit = c.evaluate(problem);
+    population.insert(Member{std::move(c), fit});
+  }
+
+  last_run_ = RunStats{};
+  last_run_.initial_best = population.best().makespan;
+
+  double best = population.best().makespan;
+  std::size_t stale = 0;
+  for (std::size_t step = 0; step < config_.total_steps; ++step) {
+    ++last_run_.steps_executed;
+    // Crossover trial (Figure 1, step 3a).
+    const Member& pa = population.at(population.select_rank(rng));
+    const Member& pb = population.at(population.select_rank(rng));
+    auto [oa, ob] = crossover(pa.chromosome, pb.chromosome, rng);
+    const double fa = oa.evaluate(problem);
+    const double fb = ob.evaluate(problem);
+    population.insert(Member{std::move(oa), fa});
+    population.insert(Member{std::move(ob), fb});
+
+    // Mutation trial (Figure 1, step 3b).
+    Chromosome mutant = population.at(population.select_rank(rng)).chromosome;
+    mutate(mutant, problem.num_machines(), rng);
+    const double fm = mutant.evaluate(problem);
+    population.insert(Member{std::move(mutant), fm});
+
+    if (population.best().makespan < best) {
+      best = population.best().makespan;
+      ++last_run_.improvements;
+      stale = 0;
+    } else if (config_.stop_after_stale != 0 &&
+               ++stale >= config_.stop_after_stale) {
+      break;
+    }
+  }
+  last_run_.final_best = population.best().makespan;
+
+  (void)ties;  // Genitor's stochastic decisions come from its own stream.
+  return population.best().chromosome.decode(problem);
+}
+
+}  // namespace hcsched::ga

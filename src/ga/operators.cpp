@@ -1,0 +1,33 @@
+#include "ga/operators.hpp"
+
+#include <stdexcept>
+
+namespace hcsched::ga {
+
+std::pair<Chromosome, Chromosome> crossover(const Chromosome& a,
+                                            const Chromosome& b,
+                                            rng::Rng& rng) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("crossover: parent size mismatch");
+  }
+  const std::size_t n = a.size();
+  if (n < 2) return {a, b};
+  const auto cut =
+      1 + static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(n - 1)));
+  Chromosome x = a;
+  Chromosome y = b;
+  for (std::size_t i = 0; i < cut; ++i) {
+    std::swap(x.genes()[i], y.genes()[i]);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+std::size_t mutate(Chromosome& c, std::size_t num_machine_slots,
+                   rng::Rng& rng) {
+  if (c.size() == 0 || num_machine_slots == 0) return kNpos;
+  const auto gene = static_cast<std::size_t>(rng.below(c.size()));
+  c.genes()[gene] = static_cast<std::uint32_t>(rng.below(num_machine_slots));
+  return gene;
+}
+
+}  // namespace hcsched::ga

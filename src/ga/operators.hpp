@@ -1,0 +1,30 @@
+// Genetic operators (paper Figure 1, steps 3a and 3b).
+//
+// Crossover: a random cut point is generated and the machine assignments of
+// the tasks below the cut are exchanged between the two parents, producing
+// two offspring. Mutation: a random task's machine assignment is replaced by
+// a uniformly random machine slot.
+#pragma once
+
+#include <utility>
+
+#include "ga/chromosome.hpp"
+#include "rng/rng.hpp"
+
+namespace hcsched::ga {
+
+/// Single-point crossover. The cut is drawn from [1, n-1] so both offspring
+/// mix genes from both parents (for n < 2 the parents are returned
+/// unchanged).
+std::pair<Chromosome, Chromosome> crossover(const Chromosome& a,
+                                            const Chromosome& b,
+                                            rng::Rng& rng);
+
+/// In-place point mutation; returns the index of the mutated gene (or npos
+/// for an empty chromosome).
+std::size_t mutate(Chromosome& c, std::size_t num_machine_slots,
+                   rng::Rng& rng);
+
+inline constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+}  // namespace hcsched::ga

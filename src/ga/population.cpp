@@ -1,0 +1,54 @@
+#include "ga/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcsched::ga {
+
+Population::Population(std::size_t capacity, double bias)
+    : capacity_(capacity), bias_(bias) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Population: capacity must be positive");
+  }
+  if (bias < 1.0 || bias > 2.0) {
+    throw std::invalid_argument("Population: bias must be in [1, 2]");
+  }
+  members_.reserve(capacity + 1);
+}
+
+bool Population::insert(Member member) {
+  const auto pos = std::lower_bound(
+      members_.begin(), members_.end(), member,
+      [](const Member& a, const Member& b) { return a.makespan < b.makespan; });
+  const bool inserted_at_end = (pos == members_.end());
+  members_.insert(pos, std::move(member));
+  if (members_.size() > capacity_) {
+    members_.pop_back();
+    // The new member survived unless it itself was the overflow victim.
+    return !inserted_at_end;
+  }
+  return true;
+}
+
+std::size_t Population::select_rank(rng::Rng& rng) const {
+  if (members_.empty()) {
+    throw std::logic_error("Population::select_rank: empty population");
+  }
+  const double u = rng.uniform01();
+  double index = 0.0;
+  if (bias_ > 1.0) {
+    // Whitley (1989): rank = n * (bias - sqrt(bias^2 - 4(bias-1)u)) /
+    //                        (2 (bias - 1))
+    const double disc = bias_ * bias_ - 4.0 * (bias_ - 1.0) * u;
+    index = static_cast<double>(members_.size()) *
+            (bias_ - std::sqrt(disc)) / (2.0 * (bias_ - 1.0));
+  } else {
+    index = u * static_cast<double>(members_.size());
+  }
+  auto rank = static_cast<std::size_t>(index);
+  if (rank >= members_.size()) rank = members_.size() - 1;
+  return rank;
+}
+
+}  // namespace hcsched::ga

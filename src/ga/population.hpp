@@ -1,0 +1,51 @@
+// Ranked steady-state population (paper §3.1, Figure 1 steps 2-3).
+//
+// Members are kept sorted by makespan (best first). Insertion is by rank;
+// whenever the population exceeds its fixed capacity the worst member is
+// removed — Genitor's defining steady-state replacement. Parent selection
+// uses Whitley's linear-rank bias: rank-based allocation of reproductive
+// trials is the core idea of the Genitor paper [17].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ga/chromosome.hpp"
+#include "rng/rng.hpp"
+
+namespace hcsched::ga {
+
+struct Member {
+  Chromosome chromosome{};
+  double makespan = 0.0;
+};
+
+class Population {
+ public:
+  /// Fixed-capacity population; `bias` in [1, 2] controls selection pressure
+  /// (1 = uniform, 2 = maximal preference for good ranks).
+  explicit Population(std::size_t capacity, double bias = 1.5);
+
+  /// Inserts by rank; drops the worst member when above capacity. Returns
+  /// true when the member survived insertion (i.e. was not immediately the
+  /// overflow victim).
+  bool insert(Member member);
+
+  /// Rank-biased parent index (0 = best).
+  std::size_t select_rank(rng::Rng& rng) const;
+
+  const Member& best() const { return members_.front(); }
+  const Member& worst() const { return members_.back(); }
+  const Member& at(std::size_t rank) const { return members_[rank]; }
+
+  std::size_t size() const noexcept { return members_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  double bias() const noexcept { return bias_; }
+
+ private:
+  std::size_t capacity_;
+  double bias_;
+  std::vector<Member> members_{};  // sorted ascending by makespan
+};
+
+}  // namespace hcsched::ga

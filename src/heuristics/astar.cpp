@@ -1,0 +1,172 @@
+#include "heuristics/astar.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace hcsched::heuristics {
+
+namespace {
+
+struct Node {
+  std::shared_ptr<const Node> parent{};  // chain of assignments
+  std::uint32_t slot = 0;                // machine slot chosen at `depth-1`
+  std::size_t depth = 0;                 // tasks fixed so far
+  std::vector<double> load{};            // machine loads after assignment
+  double f = 0.0;
+  std::uint64_t order = 0;               // tie-break: older node first
+};
+
+struct NodeCompare {
+  bool operator()(const std::shared_ptr<const Node>& a,
+                  const std::shared_ptr<const Node>& b) const {
+    if (a->f != b->f) return a->f > b->f;  // min-heap on f
+    return a->order > b->order;
+  }
+};
+
+}  // namespace
+
+AStar::AStar(AStarConfig config) : config_(config) {
+  if (config_.beam_width == 0) {
+    throw std::invalid_argument("AStar: beam_width must be positive");
+  }
+}
+
+Schedule AStar::map(const Problem& problem, TieBreaker& ties) const {
+  if (problem.num_machines() == 0) {
+    throw std::invalid_argument("AStar: no machines");
+  }
+  const std::size_t n = problem.num_tasks();
+  const std::size_t machines = problem.num_machines();
+
+  // Task order: hardest (largest min-ETC) first.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> min_etc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lo = problem.etc_at(problem.tasks()[i], 0);
+    for (std::size_t m = 1; m < machines; ++m) {
+      lo = std::min(lo, problem.etc_at(problem.tasks()[i], m));
+    }
+    min_etc[i] = lo;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return min_etc[a] > min_etc[b];
+  });
+  // Suffix aggregates of the remaining work for the heuristic h(n).
+  std::vector<double> suffix_sum(n + 1, 0.0);
+  std::vector<double> suffix_max(n + 1, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    suffix_sum[i] = suffix_sum[i + 1] + min_etc[order[i]];
+    suffix_max[i] = std::max(suffix_max[i + 1], min_etc[order[i]]);
+  }
+
+  const auto f_value = [&](const std::vector<double>& load,
+                           std::size_t depth) {
+    double g = 0.0;
+    double total = 0.0;
+    double min_load = load.empty() ? 0.0 : load[0];
+    for (double l : load) {
+      g = std::max(g, l);
+      total += l;
+      min_load = std::min(min_load, l);
+    }
+    const double balanced =
+        (total + suffix_sum[depth]) / static_cast<double>(machines);
+    // The largest remaining task must run somewhere: at least min_load +
+    // its min ETC.
+    const double must_run = depth < n ? min_load + suffix_max[depth] : 0.0;
+    return std::max({g, balanced, must_run});
+  };
+
+  std::priority_queue<std::shared_ptr<const Node>,
+                      std::vector<std::shared_ptr<const Node>>, NodeCompare>
+      open;
+  std::uint64_t counter = 0;
+  {
+    auto root = std::make_shared<Node>();
+    root->load = problem.initial_ready_times();
+    root->f = f_value(root->load, 0);
+    root->order = counter++;
+    open.push(std::move(root));
+  }
+
+  std::shared_ptr<const Node> goal;
+  std::size_t expansions = 0;
+  // Overflow handling: rather than re-heapifying, prune lazily by tracking
+  // how many live nodes we may still expand; when the open list grows past
+  // the beam, rebuild keeping the best beam_width nodes.
+  while (!open.empty()) {
+    auto node = open.top();
+    open.pop();
+    if (node->depth == n) {
+      goal = std::move(node);
+      break;
+    }
+    if (++expansions > config_.max_expansions) break;
+    for (std::size_t slot = 0; slot < machines; ++slot) {
+      auto child = std::make_shared<Node>();
+      child->parent = node;
+      child->slot = static_cast<std::uint32_t>(slot);
+      child->depth = node->depth + 1;
+      child->load = node->load;
+      child->load[slot] +=
+          problem.etc_at(problem.tasks()[order[node->depth]], slot);
+      child->f = f_value(child->load, child->depth);
+      child->order = counter++;
+      open.push(std::move(child));
+    }
+    if (open.size() > config_.beam_width) {
+      // Keep the best beam_width nodes.
+      std::vector<std::shared_ptr<const Node>> keep;
+      keep.reserve(config_.beam_width);
+      while (!open.empty() && keep.size() < config_.beam_width) {
+        keep.push_back(open.top());
+        open.pop();
+      }
+      while (!open.empty()) open.pop();
+      for (auto& k : keep) open.push(std::move(k));
+    }
+  }
+
+  Schedule schedule(problem);
+  if (goal == nullptr) {
+    // Expansion cap hit before any leaf (pathological beam settings):
+    // fall back to greedy MCT order so the result is still complete.
+    std::vector<double> ready = problem.initial_ready_times();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto task = problem.tasks()[order[i]];
+      std::size_t best = 0;
+      double best_ct = ready[0] + problem.etc_at(task, 0);
+      for (std::size_t m = 1; m < machines; ++m) {
+        const double ct = ready[m] + problem.etc_at(task, m);
+        if (ct < best_ct) {
+          best_ct = ct;
+          best = m;
+        }
+      }
+      ready[best] = schedule.assign(task, problem.machines()[best]);
+    }
+    (void)ties;
+    return schedule;
+  }
+
+  // Reconstruct the assignment chain (slots recorded leaf -> root).
+  std::vector<std::uint32_t> slots(n);
+  for (const Node* cur = goal.get(); cur->depth > 0; cur = cur->parent.get()) {
+    slots[cur->depth - 1] = cur->slot;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    schedule.assign(problem.tasks()[order[i]],
+                    problem.machines()[slots[i]]);
+  }
+  (void)ties;  // deterministic: f-ties resolved by node age
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

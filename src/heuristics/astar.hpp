@@ -1,0 +1,38 @@
+// A* (beam-limited) — Braun et al. 2001's eleventh heuristic.
+//
+// Best-first search over partial mappings: tasks are assigned in a fixed
+// order (descending minimum ETC, hardest first); a node at depth d fixes
+// the first d tasks. f(n) = g(n) + h(n) with
+//   g(n) = partial makespan (max machine load so far), and
+//   h(n) = max( balanced-load bound on the remaining work,
+//               largest remaining per-task minimum ETC completion ) - g(n),
+// both admissible, so with an unbounded open list the search is exact. As
+// in Braun et al. the open list is capped: when it exceeds `beam_width`,
+// the worst-f nodes are dropped — bounding memory and time at the cost of
+// optimality. Fully deterministic (no RNG; f-ties expand the older node).
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+struct AStarConfig {
+  std::size_t beam_width = 1024;
+  /// Hard cap on node expansions (safety valve; generous by default).
+  std::size_t max_expansions = 200000;
+};
+
+class AStar final : public Heuristic {
+ public:
+  explicit AStar(AStarConfig config = {});
+
+  std::string_view name() const noexcept override { return "A*"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+
+  const AStarConfig& config() const noexcept { return config_; }
+
+ private:
+  AStarConfig config_;
+};
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,15 @@
+#include "heuristics/duplex.hpp"
+
+#include "heuristics/minmin.hpp"
+
+namespace hcsched::heuristics {
+
+Schedule Duplex::map(const Problem& problem, TieBreaker& ties) const {
+  Schedule lo = detail::two_phase_greedy(problem, ties,
+                                         /*prefer_largest=*/false);
+  Schedule hi = detail::two_phase_greedy(problem, ties,
+                                         /*prefer_largest=*/true);
+  return hi.makespan() < lo.makespan() ? hi : lo;
+}
+
+}  // namespace hcsched::heuristics

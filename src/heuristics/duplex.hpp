@@ -1,0 +1,19 @@
+// Duplex — Braun et al. [3] baseline.
+//
+// Runs Min-Min and Max-Min on the same problem and keeps whichever mapping
+// has the smaller makespan (Min-Min wins exact ties, matching the
+// literature's description). By construction its makespan is
+// min(Min-Min, Max-Min).
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+class Duplex final : public Heuristic {
+ public:
+  std::string_view name() const noexcept override { return "Duplex"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+};
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,43 @@
+// Genetic Simulated Annealing (GSA) — Braun et al. 2001 baseline.
+//
+// A GA/SA hybrid: the population and operators are Genitor's, but offspring
+// survival uses simulated-annealing acceptance instead of strict rank
+// insertion — an offspring replaces a rank-selected incumbent when it is
+// better OR when it is worse by delta with probability exp(-delta / T); the
+// system temperature cools every step. Elitism is preserved (the best
+// member is never the replacement victim), so GSA keeps Genitor's
+// monotonicity property under seeding.
+#pragma once
+
+#include "ga/chromosome.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+struct GsaConfig {
+  std::size_t population_size = 50;
+  std::size_t steps = 1500;
+  double cooling = 0.997;
+  double selection_bias = 1.4;
+  bool seed_with_minmin = true;
+  std::uint64_t seed = 0x65A0ULL;
+};
+
+class Gsa final : public Heuristic {
+ public:
+  explicit Gsa(GsaConfig config = {});
+
+  std::string_view name() const noexcept override { return "GSA"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule map_seeded(const Problem& problem, TieBreaker& ties,
+                      const Schedule* seed) const override;
+
+  bool deterministic_given_ties() const noexcept override { return false; }
+
+  const GsaConfig& config() const noexcept { return config_; }
+
+ private:
+  GsaConfig config_;
+};
+
+}  // namespace hcsched::heuristics

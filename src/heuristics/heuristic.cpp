@@ -1,0 +1,15 @@
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+void completion_times(const Problem& problem, TaskId task,
+                      const std::vector<double>& ready,
+                      std::vector<double>& scores) {
+  const std::size_t m = problem.num_machines();
+  scores.resize(m);
+  for (std::size_t slot = 0; slot < m; ++slot) {
+    scores[slot] = ready[slot] + problem.etc_at(task, slot);
+  }
+}
+
+}  // namespace hcsched::heuristics

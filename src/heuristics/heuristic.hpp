@@ -1,0 +1,59 @@
+// Heuristic: the interface every mapping heuristic implements (paper §3).
+//
+// A heuristic maps all tasks of a Problem onto its machines, minimizing
+// makespan, consulting a TieBreaker whenever it must choose among equally
+// good candidates. `map_seeded` additionally receives the previous
+// iteration's mapping (restricted to the surviving machines); only Genitor
+// uses it — it seeds its initial population with that mapping, which is what
+// makes iterative Genitor monotone (paper §3.1). The default implementation
+// ignores the seed, matching the other heuristics' behavior in the paper.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "rng/tie_break.hpp"
+#include "sched/schedule.hpp"
+
+namespace hcsched::heuristics {
+
+using rng::TieBreaker;
+using sched::MachineId;
+using sched::Problem;
+using sched::Schedule;
+using sched::TaskId;
+
+class Heuristic {
+ public:
+  virtual ~Heuristic() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Produces a complete schedule for `problem`.
+  virtual Schedule map(const Problem& problem, TieBreaker& ties) const = 0;
+
+  /// Like map(), but with an optional warm-start mapping from the previous
+  /// iteration of the iterative technique. `seed` assigns exactly the tasks
+  /// of `problem` to machines of `problem` (already restricted); it may be
+  /// null. Default: ignore the seed.
+  virtual Schedule map_seeded(const Problem& problem, TieBreaker& ties,
+                              const Schedule* seed) const {
+    (void)seed;
+    return map(problem, ties);
+  }
+
+  /// Whether the heuristic is deterministic given a deterministic
+  /// tie-breaker (true for all list/greedy heuristics; false for Genitor,
+  /// which draws from its own RNG).
+  virtual bool deterministic_given_ties() const noexcept { return true; }
+};
+
+/// Convenience: candidate completion times of `task` over every machine slot
+/// of `problem` given current ready times `ready` (by slot). Scores vector
+/// is filled (resized) by the call.
+void completion_times(const Problem& problem, TaskId task,
+                      const std::vector<double>& ready,
+                      std::vector<double>& scores);
+
+}  // namespace hcsched::heuristics

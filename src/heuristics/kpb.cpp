@@ -1,0 +1,66 @@
+#include "heuristics/kpb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hcsched::heuristics {
+
+Kpb::Kpb(double k_percent) : k_percent_(k_percent) {
+  if (k_percent <= 0.0 || k_percent > 100.0) {
+    throw std::invalid_argument("Kpb: k_percent must be in (0, 100]");
+  }
+}
+
+std::size_t Kpb::subset_size(std::size_t machines) const noexcept {
+  const auto k = static_cast<std::size_t>(
+      std::floor(static_cast<double>(machines) * k_percent_ / 100.0));
+  return std::max<std::size_t>(1, k);
+}
+
+Schedule Kpb::map(const Problem& problem, TieBreaker& ties) const {
+  return map_traced(problem, ties, nullptr);
+}
+
+Schedule Kpb::map_traced(const Problem& problem, TieBreaker& ties,
+                         std::vector<KpbStep>* trace) const {
+  Schedule schedule(problem);
+  std::vector<double> ready = problem.initial_ready_times();
+  const std::size_t k = subset_size(problem.num_machines());
+
+  std::vector<std::size_t> slots(problem.num_machines());
+  std::vector<double> subset_ct(k);
+  for (TaskId task : problem.tasks()) {
+    // Rank machines by ETC for this task; stable toward lower slot.
+    std::iota(slots.begin(), slots.end(), std::size_t{0});
+    std::stable_sort(slots.begin(), slots.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return problem.etc_at(task, a) <
+                              problem.etc_at(task, b);
+                     });
+    // Earliest completion within the k best.
+    for (std::size_t i = 0; i < k; ++i) {
+      subset_ct[i] = ready[slots[i]] + problem.etc_at(task, slots[i]);
+    }
+    const std::size_t pick = ties.choose_min(subset_ct);
+    const std::size_t slot = slots[pick];
+    const double finish = schedule.assign(task, problem.machines()[slot]);
+    ready[slot] = finish;
+    if (trace != nullptr) {
+      KpbStep step;
+      step.task = task;
+      step.machine = problem.machines()[slot];
+      step.completion = finish;
+      step.subset.reserve(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        step.subset.push_back(problem.machines()[slots[i]]);
+      }
+      std::sort(step.subset.begin(), step.subset.end());
+      trace->push_back(std::move(step));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,12 @@
+// Max-Min lives in minmin.cpp (shared two-phase core). This translation
+// unit exists so the build layout matches the documented one-heuristic-per-
+// file convention and hosts Max-Min-specific static checks.
+#include <type_traits>
+
+#include "heuristics/minmin.hpp"
+
+namespace hcsched::heuristics {
+
+static_assert(!std::is_abstract_v<MaxMin>);
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,17 @@
+#include "heuristics/mct.hpp"
+
+namespace hcsched::heuristics {
+
+Schedule Mct::map(const Problem& problem, TieBreaker& ties) const {
+  Schedule schedule(problem);
+  std::vector<double> ready = problem.initial_ready_times();
+  std::vector<double> scores;
+  for (TaskId task : problem.tasks()) {
+    completion_times(problem, task, ready, scores);
+    const std::size_t slot = ties.choose_min(scores);
+    ready[slot] = schedule.assign(task, problem.machines()[slot]);
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

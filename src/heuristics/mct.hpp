@@ -1,0 +1,20 @@
+// Minimum Completion Time (MCT) — paper §3.3, Figure 5; Braun et al. [3].
+//
+// Tasks are taken in the problem's (arbitrary but fixed) list order; each is
+// mapped to the machine giving it the earliest completion time (machine
+// ready time + ETC). The paper proves that with deterministic ties the
+// iterative technique never changes an MCT mapping, and shows by example
+// that random ties can increase the makespan.
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+class Mct final : public Heuristic {
+ public:
+  std::string_view name() const noexcept override { return "MCT"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+};
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,18 @@
+#include "heuristics/met.hpp"
+
+namespace hcsched::heuristics {
+
+Schedule Met::map(const Problem& problem, TieBreaker& ties) const {
+  Schedule schedule(problem);
+  std::vector<double> scores(problem.num_machines());
+  for (TaskId task : problem.tasks()) {
+    for (std::size_t slot = 0; slot < problem.num_machines(); ++slot) {
+      scores[slot] = problem.etc_at(task, slot);
+    }
+    const std::size_t slot = ties.choose_min(scores);
+    schedule.assign(task, problem.machines()[slot]);
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

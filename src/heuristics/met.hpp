@@ -1,0 +1,21 @@
+// Minimum Execution Time (MET) — paper §3.4, Figure 8; Braun et al. [3].
+//
+// Each task (in list order) goes to the machine with the smallest ETC for
+// it, ignoring ready times entirely. MET therefore never balances load; it
+// is included both as a baseline and as a component of SWA and KPB. The
+// paper's trivial proof that MET mappings are invariant under the iterative
+// technique (deterministic ties) holds because the ETC row of a task never
+// changes between iterations.
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+class Met final : public Heuristic {
+ public:
+  std::string_view name() const noexcept override { return "MET"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+};
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,51 @@
+#include "heuristics/minmin.hpp"
+
+namespace hcsched::heuristics {
+
+namespace detail {
+
+Schedule two_phase_greedy(const Problem& problem, TieBreaker& ties,
+                          bool prefer_largest) {
+  Schedule schedule(problem);
+  std::vector<double> ready = problem.initial_ready_times();
+  std::vector<TaskId> unmapped = problem.tasks();
+  std::vector<double> scores;
+
+  // Phase-one results for the current round, parallel to `unmapped`.
+  std::vector<std::size_t> best_slot(unmapped.size());
+  std::vector<double> best_ct(unmapped.size());
+
+  while (!unmapped.empty()) {
+    best_slot.resize(unmapped.size());
+    best_ct.resize(unmapped.size());
+    // Phase 1: each task's minimum-completion-time machine (ties broken by
+    // the TieBreaker over machine slots, i.e. in machine-id order).
+    for (std::size_t i = 0; i < unmapped.size(); ++i) {
+      completion_times(problem, unmapped[i], ready, scores);
+      const std::size_t slot = ties.choose_min(scores);
+      best_slot[i] = slot;
+      best_ct[i] = scores[slot];
+    }
+    // Phase 2: the task with the minimum (Min-Min) or maximum (Max-Min)
+    // phase-one completion time; ties broken over tasks in list order.
+    const std::size_t pick =
+        prefer_largest ? ties.choose_max(best_ct) : ties.choose_min(best_ct);
+    const TaskId task = unmapped[pick];
+    const std::size_t slot = best_slot[pick];
+    ready[slot] = schedule.assign(task, problem.machines()[slot]);
+    unmapped.erase(unmapped.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return schedule;
+}
+
+}  // namespace detail
+
+Schedule MinMin::map(const Problem& problem, TieBreaker& ties) const {
+  return detail::two_phase_greedy(problem, ties, /*prefer_largest=*/false);
+}
+
+Schedule MaxMin::map(const Problem& problem, TieBreaker& ties) const {
+  return detail::two_phase_greedy(problem, ties, /*prefer_largest=*/true);
+}
+
+}  // namespace hcsched::heuristics

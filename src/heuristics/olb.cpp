@@ -1,0 +1,15 @@
+#include "heuristics/olb.hpp"
+
+namespace hcsched::heuristics {
+
+Schedule Olb::map(const Problem& problem, TieBreaker& ties) const {
+  Schedule schedule(problem);
+  std::vector<double> ready = problem.initial_ready_times();
+  for (TaskId task : problem.tasks()) {
+    const std::size_t slot = ties.choose_min(ready);
+    ready[slot] = schedule.assign(task, problem.machines()[slot]);
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

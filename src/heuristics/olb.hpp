@@ -1,0 +1,19 @@
+// Opportunistic Load Balancing (OLB) — Braun et al. [3] baseline.
+//
+// Each task (in list order) goes to the machine that becomes ready soonest,
+// regardless of the task's ETC there. Not part of the paper's heuristic set
+// but the standard naive baseline in the same literature; included for the
+// extension studies.
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+class Olb final : public Heuristic {
+ public:
+  std::string_view name() const noexcept override { return "OLB"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+};
+
+}  // namespace hcsched::heuristics

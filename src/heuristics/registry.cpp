@@ -1,0 +1,102 @@
+#include "heuristics/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "ga/genitor.hpp"
+#include "heuristics/duplex.hpp"
+#include "heuristics/gsa.hpp"
+#include "heuristics/kpb.hpp"
+#include "heuristics/mct.hpp"
+#include "heuristics/met.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/olb.hpp"
+#include "heuristics/sa.hpp"
+#include "heuristics/segmented.hpp"
+#include "heuristics/sufferage.hpp"
+#include "heuristics/astar.hpp"
+#include "heuristics/tabu.hpp"
+#include "heuristics/swa.hpp"
+
+namespace hcsched::heuristics {
+
+namespace {
+
+std::string canonical_key(std::string_view name) {
+  std::string key;
+  key.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    key.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return key;
+}
+
+}  // namespace
+
+std::unique_ptr<Heuristic> make_heuristic(std::string_view name) {
+  const std::string key = canonical_key(name);
+  if (key == "met") return std::make_unique<Met>();
+  if (key == "mct") return std::make_unique<Mct>();
+  if (key == "olb") return std::make_unique<Olb>();
+  if (key == "minmin") return std::make_unique<MinMin>();
+  if (key == "maxmin") return std::make_unique<MaxMin>();
+  if (key == "duplex") return std::make_unique<Duplex>();
+  if (key == "sufferage") return std::make_unique<Sufferage>();
+  if (key == "kpb" || key == "kpercentbest") return std::make_unique<Kpb>();
+  if (key == "swa" || key == "switchingalgorithm") {
+    return std::make_unique<Swa>();
+  }
+  if (key == "genitor") return std::make_unique<ga::Genitor>();
+  if (key == "sa" || key == "simulatedannealing") {
+    return std::make_unique<SimulatedAnnealing>();
+  }
+  if (key == "gsa" || key == "geneticsimulatedannealing") {
+    return std::make_unique<Gsa>();
+  }
+  if (key == "tabu" || key == "tabusearch") {
+    return std::make_unique<TabuSearch>();
+  }
+  if (key == "segmentedminmin" || key == "smm") {
+    return std::make_unique<SegmentedMinMin>();
+  }
+  if (key == "a*" || key == "astar") return std::make_unique<AStar>();
+  throw std::invalid_argument("make_heuristic: unknown heuristic '" +
+                              std::string(name) + "'");
+}
+
+std::vector<std::unique_ptr<Heuristic>> paper_heuristics() {
+  std::vector<std::unique_ptr<Heuristic>> out;
+  for (const char* name :
+       {"MET", "MCT", "Min-Min", "Genitor", "SWA", "Sufferage", "KPB"}) {
+    out.push_back(make_heuristic(name));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Heuristic>> all_heuristics() {
+  std::vector<std::unique_ptr<Heuristic>> out = paper_heuristics();
+  for (const char* name : {"OLB", "Max-Min", "Duplex"}) {
+    out.push_back(make_heuristic(name));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<Heuristic>> extended_heuristics() {
+  std::vector<std::unique_ptr<Heuristic>> out = all_heuristics();
+  for (const char* name :
+       {"SA", "GSA", "Tabu", "Segmented Min-Min", "A*"}) {
+    out.push_back(make_heuristic(name));
+  }
+  return out;
+}
+
+std::vector<std::string> known_heuristic_names() {
+  return {"MET",     "MCT", "OLB",  "Min-Min", "Max-Min",
+          "Duplex",  "Sufferage", "KPB", "SWA", "Genitor",
+          "SA",      "GSA", "Tabu", "Segmented Min-Min", "A*"};
+}
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,34 @@
+// Heuristic registry: construction by name and the canonical study sets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+/// Constructs a heuristic by its canonical name ("MET", "MCT", "OLB",
+/// "Min-Min", "Max-Min", "Duplex", "Sufferage", "KPB", "SWA", "Genitor",
+/// "SA", "GSA", "Tabu", "Segmented Min-Min"); matching is case-insensitive
+/// and ignores '-', '_' and spaces. Throws on unknown names.
+std::unique_ptr<Heuristic> make_heuristic(std::string_view name);
+
+/// The seven heuristics studied in the paper, in the paper's order:
+/// MET, MCT, Min-Min, Genitor, SWA, Sufferage, KPB.
+std::vector<std::unique_ptr<Heuristic>> paper_heuristics();
+
+/// The paper set plus the classic Braun et al. baselines (OLB, Max-Min,
+/// Duplex) used by the extension studies.
+std::vector<std::unique_ptr<Heuristic>> all_heuristics();
+
+/// all_heuristics() plus the search-based Braun et al. baselines (SA, GSA,
+/// Tabu) and Segmented Min-Min (Wu & Shu, cited as [18] in the paper).
+std::vector<std::unique_ptr<Heuristic>> extended_heuristics();
+
+/// Names accepted by make_heuristic, canonical spelling.
+std::vector<std::string> known_heuristic_names();
+
+}  // namespace hcsched::heuristics

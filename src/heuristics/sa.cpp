@@ -1,0 +1,69 @@
+#include "heuristics/sa.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ga/operators.hpp"
+#include "heuristics/minmin.hpp"
+
+namespace hcsched::heuristics {
+
+SimulatedAnnealing::SimulatedAnnealing(SaConfig config) : config_(config) {
+  if (config_.cooling <= 0.0 || config_.cooling >= 1.0) {
+    throw std::invalid_argument("SA: cooling must be in (0, 1)");
+  }
+}
+
+Schedule SimulatedAnnealing::map(const Problem& problem,
+                                 TieBreaker& ties) const {
+  return map_seeded(problem, ties, nullptr);
+}
+
+Schedule SimulatedAnnealing::map_seeded(const Problem& problem,
+                                        TieBreaker& ties,
+                                        const Schedule* seed) const {
+  if (problem.num_machines() == 0) {
+    throw std::invalid_argument("SA: no machines");
+  }
+  rng::Rng rng(config_.seed);
+
+  ga::Chromosome current = [&] {
+    if (seed != nullptr) return ga::Chromosome::from_schedule(problem, *seed);
+    if (config_.seed_with_minmin) {
+      MinMin minmin;
+      rng::TieBreaker det;
+      return ga::Chromosome::from_schedule(problem, minmin.map(problem, det));
+    }
+    return ga::Chromosome::random(problem, rng);
+  }();
+  double current_span = current.evaluate(problem);
+
+  ga::Chromosome best = current;
+  double best_span = current_span;
+
+  double temperature = current_span;
+  for (std::size_t step = 0;
+       step < config_.steps && temperature > config_.min_temperature &&
+       problem.num_tasks() > 0;
+       ++step) {
+    ga::Chromosome candidate = current;
+    ga::mutate(candidate, problem.num_machines(), rng);
+    const double span = candidate.evaluate(problem);
+    const double delta = span - current_span;
+    if (delta <= 0.0 ||
+        rng.uniform01() < std::exp(-delta / temperature)) {
+      current = std::move(candidate);
+      current_span = span;
+      if (current_span < best_span) {
+        best = current;
+        best_span = current_span;
+      }
+    }
+    temperature *= config_.cooling;
+  }
+
+  (void)ties;  // SA's stochastic decisions come from its own stream.
+  return best.decode(problem);
+}
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,36 @@
+#include "heuristics/seeded.hpp"
+
+#include <stdexcept>
+
+#include "heuristics/registry.hpp"
+
+namespace hcsched::heuristics {
+
+Seeded::Seeded(std::unique_ptr<Heuristic> inner) : inner_(std::move(inner)) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("Seeded: inner heuristic required");
+  }
+  name_ = "Seeded<";
+  name_ += inner_->name();
+  name_ += '>';
+}
+
+Schedule Seeded::map(const Problem& problem, TieBreaker& ties) const {
+  return inner_->map_seeded(problem, ties, nullptr);
+}
+
+Schedule Seeded::map_seeded(const Problem& problem, TieBreaker& ties,
+                            const Schedule* seed) const {
+  Schedule fresh = inner_->map_seeded(problem, ties, seed);
+  if (seed == nullptr) return fresh;
+  // The incumbent wins ties — the mapping changes only when strictly
+  // better, exactly the preservation argument of paper §5.
+  return fresh.makespan() < seed->makespan() ? std::move(fresh)
+                                             : Schedule(*seed);
+}
+
+std::unique_ptr<Heuristic> make_seeded(std::string_view inner_name) {
+  return std::make_unique<Seeded>(make_heuristic(inner_name));
+}
+
+}  // namespace hcsched::heuristics

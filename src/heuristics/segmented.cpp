@@ -1,0 +1,102 @@
+#include "heuristics/segmented.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hcsched::heuristics {
+
+SegmentedMinMin::SegmentedMinMin(std::size_t segments, SegmentKey key)
+    : segments_(segments), key_(key) {
+  if (segments == 0) {
+    throw std::invalid_argument("SegmentedMinMin: segments must be >= 1");
+  }
+}
+
+double SegmentedMinMin::key_of(const Problem& problem, TaskId task) const {
+  double acc = 0.0;
+  switch (key_) {
+    case SegmentKey::kAverage: {
+      for (std::size_t slot = 0; slot < problem.num_machines(); ++slot) {
+        acc += problem.etc_at(task, slot);
+      }
+      return acc / static_cast<double>(problem.num_machines());
+    }
+    case SegmentKey::kMin: {
+      acc = problem.etc_at(task, 0);
+      for (std::size_t slot = 1; slot < problem.num_machines(); ++slot) {
+        acc = std::min(acc, problem.etc_at(task, slot));
+      }
+      return acc;
+    }
+    case SegmentKey::kMax: {
+      acc = problem.etc_at(task, 0);
+      for (std::size_t slot = 1; slot < problem.num_machines(); ++slot) {
+        acc = std::max(acc, problem.etc_at(task, slot));
+      }
+      return acc;
+    }
+  }
+  return acc;
+}
+
+Schedule SegmentedMinMin::map(const Problem& problem,
+                              TieBreaker& ties) const {
+  Schedule schedule(problem);
+  if (problem.num_tasks() == 0) return schedule;
+  if (problem.num_machines() == 0) {
+    throw std::invalid_argument("SegmentedMinMin: no machines");
+  }
+
+  // Sort tasks by key, descending; stable toward the problem's task order.
+  std::vector<TaskId> sorted = problem.tasks();
+  std::vector<double> keys(problem.matrix().num_tasks(), 0.0);
+  for (TaskId t : sorted) {
+    keys[static_cast<std::size_t>(t)] = key_of(problem, t);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(), [&](TaskId a, TaskId b) {
+    return keys[static_cast<std::size_t>(a)] >
+           keys[static_cast<std::size_t>(b)];
+  });
+
+  // Segment boundaries: ceil-sized leading segments so all tasks covered.
+  const std::size_t n = sorted.size();
+  const std::size_t seg_count = std::min(segments_, n);
+  std::vector<double> ready = problem.initial_ready_times();
+  std::vector<double> scores;
+
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < seg_count; ++s) {
+    const std::size_t len = n / seg_count + (s < n % seg_count ? 1 : 0);
+    std::vector<TaskId> segment(sorted.begin() +
+                                    static_cast<std::ptrdiff_t>(begin),
+                                sorted.begin() +
+                                    static_cast<std::ptrdiff_t>(begin + len));
+    begin += len;
+
+    // Min-Min over this segment, continuing from the accumulated loads.
+    while (!segment.empty()) {
+      std::size_t pick = 0;
+      std::size_t pick_slot = 0;
+      double pick_ct = 0.0;
+      std::vector<double> best_ct(segment.size());
+      std::vector<std::size_t> best_slot(segment.size());
+      for (std::size_t i = 0; i < segment.size(); ++i) {
+        completion_times(problem, segment[i], ready, scores);
+        const std::size_t slot = ties.choose_min(scores);
+        best_slot[i] = slot;
+        best_ct[i] = scores[slot];
+      }
+      pick = ties.choose_min(best_ct);
+      pick_slot = best_slot[pick];
+      pick_ct = best_ct[pick];
+      (void)pick_ct;
+      ready[pick_slot] =
+          schedule.assign(segment[pick], problem.machines()[pick_slot]);
+      segment.erase(segment.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

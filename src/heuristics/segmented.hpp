@@ -1,0 +1,38 @@
+// Segmented Min-Min — Wu & Shu, HCW 2000 (cited as [18] in the paper).
+//
+// Plain Min-Min maps short tasks first, which can strand long tasks on
+// loaded machines. Segmented Min-Min sorts tasks by a per-task key
+// (average, minimum or maximum ETC across machines), splits the sorted list
+// into N equal segments, and runs Min-Min on each segment in order from
+// largest key to smallest — forcing the long tasks to be placed while the
+// suite is still lightly loaded. With one segment it degenerates to exactly
+// Min-Min.
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+enum class SegmentKey : std::uint8_t { kAverage, kMin, kMax };
+
+class SegmentedMinMin final : public Heuristic {
+ public:
+  explicit SegmentedMinMin(std::size_t segments = 4,
+                           SegmentKey key = SegmentKey::kAverage);
+
+  std::string_view name() const noexcept override {
+    return "Segmented Min-Min";
+  }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+
+  std::size_t segments() const noexcept { return segments_; }
+  SegmentKey key() const noexcept { return key_; }
+
+ private:
+  double key_of(const Problem& problem, TaskId task) const;
+
+  std::size_t segments_;
+  SegmentKey key_;
+};
+
+}  // namespace hcsched::heuristics

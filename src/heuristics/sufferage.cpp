@@ -1,0 +1,101 @@
+#include "heuristics/sufferage.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace hcsched::heuristics {
+
+namespace {
+
+/// Earliest and second-earliest completion times of `scores`; the earliest
+/// slot is chosen through the tie-breaker (machine-slot order).
+struct BestTwo {
+  std::size_t best_slot = 0;
+  double best_ct = 0.0;
+  double second_ct = 0.0;
+};
+
+BestTwo best_two(const std::vector<double>& scores, TieBreaker& ties) {
+  BestTwo out;
+  out.best_slot = ties.choose_min(scores);
+  out.best_ct = scores[out.best_slot];
+  out.second_ct = std::numeric_limits<double>::infinity();
+  for (std::size_t slot = 0; slot < scores.size(); ++slot) {
+    if (slot == out.best_slot) continue;
+    out.second_ct = std::min(out.second_ct, scores[slot]);
+  }
+  if (scores.size() == 1) out.second_ct = out.best_ct;  // sufferage := 0
+  return out;
+}
+
+}  // namespace
+
+Schedule Sufferage::map(const Problem& problem, TieBreaker& ties) const {
+  return map_traced(problem, ties, nullptr);
+}
+
+Schedule Sufferage::map_traced(const Problem& problem, TieBreaker& ties,
+                               std::vector<SufferageStep>* trace) const {
+  Schedule schedule(problem);
+  std::vector<double> ready = problem.initial_ready_times();
+  std::vector<TaskId> pending = problem.tasks();
+
+  // Original list position, for restoring canonical order between passes.
+  std::vector<std::size_t> position(problem.matrix().num_tasks(), 0);
+  for (std::size_t i = 0; i < problem.tasks().size(); ++i) {
+    position[static_cast<std::size_t>(problem.tasks()[i])] = i;
+  }
+
+  std::vector<double> scores;
+  std::size_t pass = 0;
+  while (!pending.empty()) {
+    ++pass;
+    // Tentative claims for this pass, by machine slot.
+    struct Claim {
+      TaskId task = -1;
+      double sufferage = 0.0;
+      double min_ct = 0.0;
+    };
+    std::vector<Claim> claim(problem.num_machines());
+    std::vector<TaskId> next_round;
+
+    for (TaskId task : pending) {
+      completion_times(problem, task, ready, scores);
+      const BestTwo two = best_two(scores, ties);
+      const double suff = two.second_ct - two.best_ct;
+      Claim& c = claim[two.best_slot];
+      if (c.task < 0) {
+        c = Claim{task, suff, two.best_ct};
+      } else if (c.sufferage < suff) {
+        next_round.push_back(c.task);  // evicted, back to the list
+        c = Claim{task, suff, two.best_ct};
+      } else {
+        next_round.push_back(task);
+      }
+    }
+
+    // Commit this pass's claims and update ready times (Figure 17 step iii).
+    for (std::size_t slot = 0; slot < claim.size(); ++slot) {
+      const Claim& c = claim[slot];
+      if (c.task < 0) continue;
+      ready[slot] = schedule.assign(c.task, problem.machines()[slot]);
+      if (trace != nullptr) {
+        trace->push_back(SufferageStep{pass, c.task,
+                                       problem.machines()[slot], c.min_ct,
+                                       c.sufferage});
+      }
+    }
+
+    if (requeue_ == SufferageRequeue::kOriginalOrder) {
+      std::sort(next_round.begin(), next_round.end(),
+                [&](TaskId a, TaskId b) {
+                  return position[static_cast<std::size_t>(a)] <
+                         position[static_cast<std::size_t>(b)];
+                });
+    }
+    pending = std::move(next_round);
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics

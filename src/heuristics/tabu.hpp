@@ -1,0 +1,48 @@
+// Tabu Search — Braun et al. 2001 baseline (cited as [3]).
+//
+// Keeps one current mapping. A *short hop* is the best single-task
+// reassignment found by scanning all (task, machine) moves; short hops
+// repeat until no move improves the makespan (a local minimum). The local
+// minimum is appended to the tabu list; a *long hop* then jumps to a random
+// mapping whose Hamming distance to every tabu entry is at least half the
+// task count, and the local search restarts. The search stops after the
+// configured number of successful long hops (or when no sufficiently
+// distant mapping can be sampled); the best local minimum seen is returned.
+#pragma once
+
+#include <vector>
+
+#include "ga/chromosome.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace hcsched::heuristics {
+
+struct TabuConfig {
+  std::size_t max_long_hops = 8;
+  /// Attempts to sample a far-enough restart point per long hop.
+  std::size_t long_hop_attempts = 200;
+  bool seed_with_minmin = true;
+  std::uint64_t seed = 0x7AB0ULL;
+};
+
+class TabuSearch final : public Heuristic {
+ public:
+  explicit TabuSearch(TabuConfig config = {});
+
+  std::string_view name() const noexcept override { return "Tabu"; }
+  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule map_seeded(const Problem& problem, TieBreaker& ties,
+                      const Schedule* seed) const override;
+
+  bool deterministic_given_ties() const noexcept override { return false; }
+
+  const TabuConfig& config() const noexcept { return config_; }
+
+ private:
+  TabuConfig config_;
+};
+
+/// Number of positions at which two equal-length chromosomes differ.
+std::size_t hamming_distance(const ga::Chromosome& a, const ga::Chromosome& b);
+
+}  // namespace hcsched::heuristics

@@ -1,0 +1,28 @@
+#include "report/csv.hpp"
+
+#include <ostream>
+
+namespace hcsched::report {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) *os_ << ',';
+    *os_ << escape(cells[i]);
+  }
+  *os_ << '\n';
+}
+
+}  // namespace hcsched::report

@@ -1,0 +1,23 @@
+// Minimal CSV writer (RFC-4180 quoting) for exporting bench series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hcsched::report {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(&os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Quotes a cell when it contains commas, quotes or newlines.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream* os_;
+};
+
+}  // namespace hcsched::report

@@ -1,0 +1,54 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "report/table.hpp"
+
+namespace hcsched::report {
+
+std::string render_gantt(const sched::Schedule& schedule,
+                         GanttOptions options) {
+  const sched::Problem& problem = schedule.problem();
+  const double span = schedule.makespan();
+  double scale = options.chars_per_unit;
+  if (scale <= 0.0) {
+    scale = span > 0.0
+                ? static_cast<double>(options.target_width) / span
+                : 1.0;
+  }
+
+  std::ostringstream os;
+  for (std::size_t slot = 0; slot < problem.num_machines(); ++slot) {
+    const sched::MachineId machine = problem.machines()[slot];
+    os << 'm' << machine << " |";
+    std::size_t cursor = 0;  // characters drawn after the leading bar
+    const double initial = problem.initial_ready(slot);
+    if (initial > 0.0) {
+      const auto pad = static_cast<std::size_t>(std::llround(initial * scale));
+      os << std::string(pad > 0 ? pad - 0 : 0, '.');
+      cursor += pad;
+    }
+    for (const sched::Assignment& a : schedule.queue_of(machine)) {
+      const auto end_col =
+          static_cast<std::size_t>(std::llround(a.finish * scale));
+      std::string label("t");
+      label += std::to_string(a.task);
+      std::size_t box = end_col > cursor ? end_col - cursor : 1;
+      if (box < label.size() + 1) box = label.size() + 1;
+      os << label << std::string(box - label.size() - 1, ' ') << '|';
+      cursor += box;
+    }
+    if (options.show_completion_times) {
+      const std::size_t total =
+          static_cast<std::size_t>(std::llround(span * scale)) + 4;
+      if (cursor < total) os << std::string(total - cursor, ' ');
+      os << " CT = " << TextTable::num(schedule.completion_time(machine));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hcsched::report

@@ -1,0 +1,29 @@
+// ASCII Gantt charts — the repo's rendering of the paper's mapping figures
+// (Figures 3, 4, 6, 7, 9-12, 15, 16, 18, 19).
+//
+// One row per machine, time flowing right, each task drawn as a labelled
+// box scaled to its ETC:
+//
+//   m0 |t0            |                       CT = 5
+//   m1 |t1|t2 |                               CT = 2
+//   m2 |t3        |                           CT = 4
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace hcsched::report {
+
+struct GanttOptions {
+  /// Characters per time unit; 0 auto-scales so the longest machine row is
+  /// about `target_width` characters.
+  double chars_per_unit = 0.0;
+  std::size_t target_width = 60;
+  bool show_completion_times = true;
+};
+
+std::string render_gantt(const sched::Schedule& schedule,
+                         GanttOptions options = {});
+
+}  // namespace hcsched::report

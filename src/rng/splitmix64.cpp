@@ -1,0 +1,10 @@
+#include "rng/splitmix64.hpp"
+
+// Header-only in practice; this translation unit pins the class's vtable-free
+// ODR home and gives the build system a stable object for the module.
+namespace hcsched::rng {
+
+static_assert(SplitMix64::min() == 0);
+static_assert(SplitMix64::max() == ~0ULL);
+
+}  // namespace hcsched::rng

@@ -1,0 +1,39 @@
+// SplitMix64: a fast 64-bit mixing generator (Steele, Lea, Flood 2014).
+//
+// Used here primarily as a seed expander for xoshiro256** and as a
+// lightweight stand-alone stream for non-critical randomness. The state is a
+// single 64-bit counter advanced by the golden-gamma constant, so two
+// SplitMix64 streams seeded differently never collide within 2^64 outputs.
+#pragma once
+
+#include <cstdint>
+
+namespace hcsched::rng {
+
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Advances the state and returns the next 64-bit output.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Current internal state (for serialization / tests).
+  constexpr std::uint64_t state() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hcsched::rng

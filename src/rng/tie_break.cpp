@@ -1,0 +1,57 @@
+#include "rng/tie_break.hpp"
+
+#include <algorithm>
+
+namespace hcsched::rng {
+
+std::size_t TieBreaker::choose_min(std::span<const double> scores) {
+  if (scores.empty()) return npos;
+  ++decisions_;
+  double best = scores[0];
+  for (double s : scores) best = std::min(best, s);
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (tied(best, scores[i])) ties.push_back(i);
+  }
+  return resolve(ties);
+}
+
+std::size_t TieBreaker::choose_max(std::span<const double> scores) {
+  if (scores.empty()) return npos;
+  ++decisions_;
+  double best = scores[0];
+  for (double s : scores) best = std::max(best, s);
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (tied(best, scores[i])) ties.push_back(i);
+  }
+  return resolve(ties);
+}
+
+std::size_t TieBreaker::choose_among(std::span<const std::size_t> tied_set) {
+  if (tied_set.empty()) return npos;
+  ++decisions_;
+  std::vector<std::size_t> ties(tied_set.begin(), tied_set.end());
+  return resolve(ties);
+}
+
+std::size_t TieBreaker::resolve(const std::vector<std::size_t>& ties) {
+  if (ties.empty()) return npos;
+  if (ties.size() == 1) return ties.front();
+  ++tie_events_;
+  switch (policy_) {
+    case TiePolicy::kDeterministic:
+      return ties.front();
+    case TiePolicy::kRandom:
+      return ties[static_cast<std::size_t>(rng_->below(ties.size()))];
+    case TiePolicy::kScripted: {
+      std::size_t pick = 0;
+      if (script_pos_ < script_.size()) pick = script_[script_pos_++];
+      if (pick >= ties.size()) pick = ties.size() - 1;
+      return ties[pick];
+    }
+  }
+  return ties.front();
+}
+
+}  // namespace hcsched::rng

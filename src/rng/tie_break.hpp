@@ -1,0 +1,86 @@
+// Tie-breaking policies (paper §2).
+//
+// A "tie" occurs when a heuristic must choose among candidates it scores as
+// equally good. The paper studies two policies:
+//   * Deterministic — always the same candidate (here: the first in the
+//     canonical enumeration order, i.e. lowest task index then lowest
+//     machine index), and
+//   * Random — uniform over the tied set.
+// A third policy, Scripted, replays a fixed sequence of choices; it is how
+// the repo reproduces the paper's worked examples, where a *specific* random
+// outcome is what makes the makespan increase.
+//
+// Scores are compared with an absolute epsilon so fractional ETC values
+// (2.5, 6.5 in the paper's SWA example) tie exactly when intended.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace hcsched::rng {
+
+enum class TiePolicy : std::uint8_t { kDeterministic, kRandom, kScripted };
+
+class TieBreaker {
+ public:
+  /// Deterministic tie-breaker.
+  TieBreaker() noexcept : policy_(TiePolicy::kDeterministic) {}
+
+  /// Random tie-breaker drawing from `rng` (not owned; must outlive this).
+  explicit TieBreaker(Rng& rng, double epsilon = kDefaultEpsilon) noexcept
+      : policy_(TiePolicy::kRandom), rng_(&rng), epsilon_(epsilon) {}
+
+  /// Scripted tie-breaker: the i-th tie consumes script[i] as an index into
+  /// the tied candidate list (clamped); once the script is exhausted the
+  /// policy degrades to deterministic.
+  explicit TieBreaker(std::vector<std::size_t> script,
+                      double epsilon = kDefaultEpsilon) noexcept
+      : policy_(TiePolicy::kScripted),
+        script_(std::move(script)),
+        epsilon_(epsilon) {}
+
+  TiePolicy policy() const noexcept { return policy_; }
+  double epsilon() const noexcept { return epsilon_; }
+
+  /// Whether two scores are considered equal.
+  bool tied(double a, double b) const noexcept {
+    const double d = a - b;
+    return (d < 0 ? -d : d) <= epsilon_;
+  }
+
+  /// Index of the chosen minimal element of `scores` (empty input is a
+  /// precondition violation and returns npos).
+  std::size_t choose_min(std::span<const double> scores);
+
+  /// Index of the chosen maximal element of `scores`.
+  std::size_t choose_max(std::span<const double> scores);
+
+  /// Choose among an explicit tied set (indices into some caller structure).
+  std::size_t choose_among(std::span<const std::size_t> tied);
+
+  /// Number of genuine ties (|tied set| > 1) resolved so far.
+  std::size_t tie_events() const noexcept { return tie_events_; }
+
+  /// Number of choose_* calls made so far (tied or not).
+  std::size_t decisions() const noexcept { return decisions_; }
+
+  static constexpr double kDefaultEpsilon = 1e-9;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::size_t resolve(const std::vector<std::size_t>& tied);
+
+  TiePolicy policy_;
+  Rng* rng_ = nullptr;
+  std::vector<std::size_t> script_{};
+  std::size_t script_pos_ = 0;
+  double epsilon_ = kDefaultEpsilon;
+  std::size_t tie_events_ = 0;
+  std::size_t decisions_ = 0;
+};
+
+}  // namespace hcsched::rng

@@ -1,0 +1,95 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcsched::sched {
+
+std::vector<std::pair<MachineId, double>> finishing_times(const Schedule& s) {
+  std::vector<std::pair<MachineId, double>> out;
+  const auto& machines = s.problem().machines();
+  const auto& ready = s.completion_times_by_slot();
+  out.reserve(machines.size());
+  for (std::size_t slot = 0; slot < machines.size(); ++slot) {
+    out.emplace_back(machines[slot], ready[slot]);
+  }
+  return out;
+}
+
+double mean_completion(const Schedule& s) {
+  const auto& ready = s.completion_times_by_slot();
+  if (ready.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : ready) sum += r;
+  return sum / static_cast<double>(ready.size());
+}
+
+double total_flow_time(const Schedule& s) {
+  double sum = 0.0;
+  for (const Assignment& a : s.assignment_order()) sum += a.finish;
+  return sum;
+}
+
+std::vector<double> non_makespan_completions(const Schedule& s) {
+  const MachineId span_machine = s.makespan_machine();
+  std::vector<double> out;
+  const auto& machines = s.problem().machines();
+  const auto& ready = s.completion_times_by_slot();
+  for (std::size_t slot = 0; slot < machines.size(); ++slot) {
+    if (machines[slot] != span_machine) out.push_back(ready[slot]);
+  }
+  return out;
+}
+
+double max_non_makespan_completion(const Schedule& s) {
+  const auto non = non_makespan_completions(s);
+  double best = 0.0;
+  for (double ct : non) best = std::max(best, ct);
+  return best;
+}
+
+double completion_variance(const Schedule& s) {
+  const auto& ready = s.completion_times_by_slot();
+  if (ready.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double r : ready) mean += r;
+  mean /= static_cast<double>(ready.size());
+  double var = 0.0;
+  for (double r : ready) var += (r - mean) * (r - mean);
+  return var / static_cast<double>(ready.size() - 1);
+}
+
+double load_balance_index(const Schedule& s) {
+  const auto& ready = s.completion_times_by_slot();
+  if (ready.empty()) return 0.0;
+  double lo = ready.front();
+  double hi = ready.front();
+  for (double r : ready) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+ChangeSummary summarize_changes(const std::vector<double>& before,
+                                const std::vector<double>& after,
+                                double epsilon) {
+  if (before.size() != after.size()) {
+    throw std::invalid_argument("summarize_changes: size mismatch");
+  }
+  ChangeSummary summary;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    const double delta = after[i] - before[i];
+    summary.total_delta += delta;
+    if (delta < -epsilon) {
+      ++summary.improved;
+    } else if (delta > epsilon) {
+      ++summary.worsened;
+    } else {
+      ++summary.unchanged;
+    }
+  }
+  return summary;
+}
+
+}  // namespace hcsched::sched

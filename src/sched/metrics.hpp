@@ -1,0 +1,63 @@
+// Schedule quality metrics.
+//
+// Besides makespan (the heuristics' own objective), the paper's study needs
+// per-machine finishing times and aggregate "non-makespan" statistics: the
+// average finishing time across machines, the finishing-time vector sorted
+// descending, and comparisons between an original mapping's finishing times
+// and the final finishing times of the iterative technique.
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace hcsched::sched {
+
+/// Finishing time of every machine in the schedule's problem, as
+/// (machine, completion time) pairs in machine-slot order.
+std::vector<std::pair<MachineId, double>> finishing_times(const Schedule& s);
+
+/// Mean completion time over machines.
+double mean_completion(const Schedule& s);
+
+/// Sum over tasks of their individual finish times ("total flow time").
+double total_flow_time(const Schedule& s);
+
+/// Completion times of all machines except the makespan machine, in
+/// machine-slot order. Empty when only one machine exists.
+std::vector<double> non_makespan_completions(const Schedule& s);
+
+/// Largest completion time among the non-makespan machines (0 with a
+/// single machine) — the "minimize the largest finishing time among the
+/// other machines" objective the paper's §2 mentions.
+double max_non_makespan_completion(const Schedule& s);
+
+/// Sample variance of machine completion times (0 with < 2 machines).
+double completion_variance(const Schedule& s);
+
+/// Load balance index min(CT)/max(CT) in [0, 1]; 1 when perfectly
+/// balanced, 0 when some machine is idle. Matches SWA's BI on final loads.
+double load_balance_index(const Schedule& s);
+
+/// Outcome of comparing one machine's finishing time before/after the
+/// iterative technique.
+enum class Change : std::uint8_t { kImproved, kUnchanged, kWorsened };
+
+struct ChangeSummary {
+  std::size_t improved = 0;
+  std::size_t unchanged = 0;
+  std::size_t worsened = 0;
+  double total_delta = 0.0;  ///< sum of (after - before); negative is better
+
+  std::size_t total() const noexcept {
+    return improved + unchanged + worsened;
+  }
+};
+
+/// Classifies per-machine deltas: after[i] vs before[i] (parallel vectors),
+/// within epsilon.
+ChangeSummary summarize_changes(const std::vector<double>& before,
+                                const std::vector<double>& after,
+                                double epsilon = 1e-9);
+
+}  // namespace hcsched::sched

@@ -1,0 +1,88 @@
+#include "sched/validate.hpp"
+
+#include <cmath>
+#include <string>
+
+namespace hcsched::sched {
+
+namespace {
+
+bool close(double a, double b, double eps) { return std::fabs(a - b) <= eps; }
+
+}  // namespace
+
+std::vector<std::string> validate(const Schedule& s, double epsilon) {
+  std::vector<std::string> errors;
+  const Problem& p = s.problem();
+
+  // Completeness: each task mapped exactly once to a problem machine.
+  std::vector<int> seen(p.matrix().num_tasks(), 0);
+  for (const Assignment& a : s.assignment_order()) {
+    if (a.task < 0 ||
+        static_cast<std::size_t>(a.task) >= p.matrix().num_tasks()) {
+      errors.push_back("assignment with out-of-range task id " +
+                       std::to_string(a.task));
+      continue;
+    }
+    ++seen[static_cast<std::size_t>(a.task)];
+    if (!p.has_task(a.task)) {
+      errors.push_back("task " + std::to_string(a.task) +
+                       " assigned but not in problem");
+    }
+    if (!p.has_machine(a.machine)) {
+      errors.push_back("task " + std::to_string(a.task) +
+                       " assigned to foreign machine " +
+                       std::to_string(a.machine));
+    }
+  }
+  for (TaskId t : p.tasks()) {
+    const int count = seen[static_cast<std::size_t>(t)];
+    if (count == 0) {
+      errors.push_back("task " + std::to_string(t) + " unassigned");
+    } else if (count > 1) {
+      errors.push_back("task " + std::to_string(t) + " assigned " +
+                       std::to_string(count) + " times");
+    }
+  }
+
+  // Per-machine chains.
+  double max_ct = 0.0;
+  for (std::size_t slot = 0; slot < p.num_machines(); ++slot) {
+    const MachineId m = p.machines()[slot];
+    double cursor = p.initial_ready(slot);
+    for (const Assignment& a : s.queue_of(m)) {
+      if (!close(a.start, cursor, epsilon)) {
+        errors.push_back("machine " + std::to_string(m) + ": task " +
+                         std::to_string(a.task) + " starts at " +
+                         std::to_string(a.start) + ", expected " +
+                         std::to_string(cursor));
+      }
+      const double etc_value = p.matrix().at(a.task, a.machine);
+      if (!close(a.finish - a.start, etc_value, epsilon)) {
+        errors.push_back("machine " + std::to_string(m) + ": task " +
+                         std::to_string(a.task) + " duration " +
+                         std::to_string(a.finish - a.start) +
+                         " != ETC " + std::to_string(etc_value));
+      }
+      cursor = a.finish;
+    }
+    if (!close(s.completion_time(m), cursor, epsilon)) {
+      errors.push_back("machine " + std::to_string(m) +
+                       ": recorded completion " +
+                       std::to_string(s.completion_time(m)) +
+                       " != queue end " + std::to_string(cursor));
+    }
+    max_ct = std::max(max_ct, cursor);
+  }
+  if (p.num_machines() > 0 && !close(s.makespan(), max_ct, epsilon)) {
+    errors.push_back("makespan " + std::to_string(s.makespan()) +
+                     " != max completion " + std::to_string(max_ct));
+  }
+  return errors;
+}
+
+bool is_valid(const Schedule& s, double epsilon) {
+  return validate(s, epsilon).empty();
+}
+
+}  // namespace hcsched::sched

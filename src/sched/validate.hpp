@@ -1,0 +1,25 @@
+// Schedule validation: the structural invariants every heuristic's output
+// must satisfy (DESIGN.md §6, invariant 1). Returns human-readable
+// violations instead of asserting so tests and the witness search can report
+// precisely what broke.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace hcsched::sched {
+
+/// All violated invariants of `s`; empty means valid. Checks:
+///  * every problem task assigned exactly once, to a problem machine;
+///  * per-machine queues are gap-free chains starting at the initial ready
+///    time, with finish - start == ETC for every assignment;
+///  * the recorded completion time of each machine matches its queue;
+///  * makespan equals the maximum machine completion time.
+std::vector<std::string> validate(const Schedule& s, double epsilon = 1e-9);
+
+/// Convenience: true when validate(s) is empty.
+bool is_valid(const Schedule& s, double epsilon = 1e-9);
+
+}  // namespace hcsched::sched

@@ -1,0 +1,102 @@
+#include "sim/experiment.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "core/iterative.hpp"
+#include "heuristics/registry.hpp"
+
+namespace hcsched::sim {
+
+std::vector<StudyRow> run_iterative_study(const StudyParams& params,
+                                          ThreadPool& pool) {
+  if (params.heuristics.empty()) {
+    throw std::invalid_argument("run_iterative_study: no heuristics");
+  }
+  std::vector<StudyRow> rows(params.heuristics.size());
+  for (std::size_t h = 0; h < params.heuristics.size(); ++h) {
+    rows[h].heuristic = params.heuristics[h];
+  }
+  std::mutex merge_mutex;
+
+  pool.parallel_for_chunks(
+      params.trials, [&](std::size_t begin, std::size_t end) {
+        // Thread-local accumulators, merged once per chunk.
+        std::vector<StudyRow> local(rows.size());
+        // Heuristic instances are stateless across trials (Genitor carries
+        // only last-run stats), so construct once per chunk.
+        std::vector<std::unique_ptr<heuristics::Heuristic>> instances;
+        instances.reserve(params.heuristics.size());
+        for (const auto& name : params.heuristics) {
+          instances.push_back(heuristics::make_heuristic(name));
+        }
+        const etc::CvbEtcGenerator generator(params.cvb);
+        const core::IterativeMinimizer minimizer{
+            core::IterativeOptions{.use_seeding = params.use_seeding}};
+
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          // Independent, thread-count-agnostic stream per trial.
+          rng::Rng trial_rng = rng::Rng(params.seed).split(trial);
+          const etc::EtcMatrix matrix = etc::shape_consistency(
+              generator.generate(trial_rng), params.consistency);
+          const sched::Problem problem = sched::Problem::full(matrix);
+
+          for (std::size_t h = 0; h < instances.size(); ++h) {
+            core::IterativeResult result = [&] {
+              if (params.tie_policy == rng::TiePolicy::kRandom) {
+                rng::TieBreaker ties(trial_rng);
+                return minimizer.run(*instances[h], problem, ties);
+              }
+              rng::TieBreaker ties;
+              return minimizer.run(*instances[h], problem, ties);
+            }();
+
+            StudyRow& row = local[h];
+            ++row.trials;
+            const auto& original = result.original().schedule;
+            const sched::MachineId span_machine =
+                result.original().makespan_machine;
+            row.original_makespan.add(result.original().makespan);
+
+            double orig_sum = 0.0;
+            double final_sum = 0.0;
+            for (const auto& [machine, final_ct] :
+                 result.final_finishing_times) {
+              const double orig_ct = original.completion_time(machine);
+              orig_sum += orig_ct;
+              final_sum += final_ct;
+              if (machine == span_machine) continue;  // frozen by definition
+              const double delta = final_ct - orig_ct;
+              if (delta < -1e-9) {
+                ++row.machines_improved;
+              } else if (delta > 1e-9) {
+                ++row.machines_worsened;
+              } else {
+                ++row.machines_unchanged;
+              }
+              if (orig_ct > 0.0) row.finish_delta.add(delta / orig_ct);
+            }
+            if (orig_sum > 0.0) {
+              row.mean_completion_delta.add((final_sum - orig_sum) /
+                                            orig_sum);
+            }
+            if (result.makespan_increased()) ++row.makespan_increases;
+          }
+        }
+
+        const std::lock_guard<std::mutex> lock(merge_mutex);
+        for (std::size_t h = 0; h < rows.size(); ++h) {
+          rows[h].trials += local[h].trials;
+          rows[h].machines_improved += local[h].machines_improved;
+          rows[h].machines_unchanged += local[h].machines_unchanged;
+          rows[h].machines_worsened += local[h].machines_worsened;
+          rows[h].finish_delta.merge(local[h].finish_delta);
+          rows[h].mean_completion_delta.merge(local[h].mean_completion_delta);
+          rows[h].makespan_increases += local[h].makespan_increases;
+          rows[h].original_makespan.merge(local[h].original_makespan);
+        }
+      });
+  return rows;
+}
+
+}  // namespace hcsched::sim

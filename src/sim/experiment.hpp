@@ -1,0 +1,61 @@
+// Monte-Carlo study of the iterative technique (extension experiments
+// EXT-1/EXT-2 in DESIGN.md).
+//
+// For each trial a fresh CVB ETC matrix is generated, each heuristic maps
+// it, the iterative technique runs, and the per-machine finishing times of
+// the original mapping are compared against the final finishing times. Rows
+// aggregate, per heuristic: how many non-makespan machines improved /
+// stayed / worsened, the mean relative improvement of machine finishing
+// times, and how often the effective makespan increased.
+//
+// Trials are independent; they are distributed over a ThreadPool with one
+// RNG stream per trial (derived by jumping), so results are reproducible
+// regardless of thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "rng/tie_break.hpp"
+#include "sim/stats.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace hcsched::sim {
+
+struct StudyParams {
+  std::vector<std::string> heuristics{};  ///< registry names
+  etc::CvbParams cvb{};
+  etc::Consistency consistency = etc::Consistency::kInconsistent;
+  std::size_t trials = 50;
+  std::uint64_t seed = 1;
+  rng::TiePolicy tie_policy = rng::TiePolicy::kDeterministic;
+  /// Forward the previous mapping as a seed (Genitor's protocol).
+  bool use_seeding = true;
+};
+
+struct StudyRow {
+  std::string heuristic{};
+  std::size_t trials = 0;
+  /// Machine-level counts across all trials (non-makespan machines of the
+  /// original mapping only; the original makespan machine's finishing time
+  /// is frozen by construction).
+  std::size_t machines_improved = 0;
+  std::size_t machines_unchanged = 0;
+  std::size_t machines_worsened = 0;
+  /// Relative change of machine finishing times, (final - orig) / orig,
+  /// over non-makespan machines (negative = improvement).
+  RunningStats finish_delta{};
+  /// Relative change of the mean machine completion time per trial.
+  RunningStats mean_completion_delta{};
+  /// Number of trials whose effective makespan exceeded the original.
+  std::size_t makespan_increases = 0;
+  /// Original-mapping makespan (context for the ratios).
+  RunningStats original_makespan{};
+};
+
+std::vector<StudyRow> run_iterative_study(const StudyParams& params,
+                                          ThreadPool& pool);
+
+}  // namespace hcsched::sim

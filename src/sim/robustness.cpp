@@ -1,0 +1,65 @@
+#include "sim/robustness.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hcsched::sim {
+
+etc::EtcMatrix perturb(const etc::EtcMatrix& estimated,
+                       const PerturbationModel& model, rng::Rng& rng) {
+  if (model.noise < 0.0 || model.floor <= 0.0) {
+    throw std::invalid_argument("perturb: noise >= 0 and floor > 0 required");
+  }
+  etc::EtcMatrix actual = estimated;
+  for (std::size_t t = 0; t < actual.num_tasks(); ++t) {
+    for (std::size_t m = 0; m < actual.num_machines(); ++m) {
+      const double factor =
+          std::max(model.floor, 1.0 + model.noise * rng.normal());
+      actual.at(static_cast<int>(t), static_cast<int>(m)) *= factor;
+    }
+  }
+  return actual;
+}
+
+std::vector<double> realized_completions(const sched::Schedule& mapping,
+                                         const etc::EtcMatrix& actual) {
+  const sched::Problem& problem = mapping.problem();
+  if (actual.num_tasks() != problem.matrix().num_tasks() ||
+      actual.num_machines() != problem.matrix().num_machines()) {
+    throw std::invalid_argument(
+        "realized_completions: actual matrix shape mismatch");
+  }
+  std::vector<double> ready = problem.initial_ready_times();
+  for (std::size_t slot = 0; slot < problem.num_machines(); ++slot) {
+    for (const sched::Assignment& a :
+         mapping.queue_of(problem.machines()[slot])) {
+      ready[slot] += actual.at(a.task, a.machine);
+    }
+  }
+  return ready;
+}
+
+double realized_makespan(const sched::Schedule& mapping,
+                         const etc::EtcMatrix& actual) {
+  const auto completions = realized_completions(mapping, actual);
+  double best = 0.0;
+  for (double c : completions) best = std::max(best, c);
+  return best;
+}
+
+double robustness_radius(const sched::Schedule& mapping, double tau) {
+  const sched::Problem& problem = mapping.problem();
+  double radius = std::numeric_limits<double>::infinity();
+  for (std::size_t slot = 0; slot < problem.num_machines(); ++slot) {
+    const sched::MachineId machine = problem.machines()[slot];
+    const double completion = mapping.completion_time(machine);
+    const double work = completion - problem.initial_ready(slot);
+    if (work <= 0.0) continue;  // empty queue cannot inflate
+    if (completion >= tau) return 0.0;  // already past the threshold
+    radius = std::min(radius, (tau - completion) / work);
+  }
+  return radius;
+}
+
+}  // namespace hcsched::sim

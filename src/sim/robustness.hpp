@@ -1,0 +1,48 @@
+// Robustness of mappings to ETC estimation error.
+//
+// The paper's machine model assumes the ETC matrix is exact; in practice
+// ETC values come from profiling and the *actual* execution times differ.
+// This module evaluates a mapping made against estimated ETCs under an
+// actual-time matrix, and generates actual matrices by multiplicative
+// perturbation — the standard model in the group's later robustness work
+// (e.g. Ali et al., "Measuring the robustness of a resource allocation").
+//
+// Used by EXT-10 to ask: do the iterative technique's finishing-time
+// improvements survive estimation error?
+#pragma once
+
+#include "etc/etc_matrix.hpp"
+#include "rng/rng.hpp"
+#include "sched/schedule.hpp"
+
+namespace hcsched::sim {
+
+struct PerturbationModel {
+  /// Each actual time is ETC * max(floor, 1 + noise * N(0,1)).
+  double noise = 0.1;
+  double floor = 0.05;  ///< actual times never drop below floor * ETC
+};
+
+/// Actual-time matrix: estimated ETCs perturbed entry-wise.
+etc::EtcMatrix perturb(const etc::EtcMatrix& estimated,
+                       const PerturbationModel& model, rng::Rng& rng);
+
+/// Completion time of every machine when `mapping` (built against the
+/// estimated matrix) executes under `actual` times, by machine slot of the
+/// mapping's problem. Initial ready times are kept.
+std::vector<double> realized_completions(const sched::Schedule& mapping,
+                                         const etc::EtcMatrix& actual);
+
+/// Realized makespan under actual times.
+double realized_makespan(const sched::Schedule& mapping,
+                         const etc::EtcMatrix& actual);
+
+/// Robustness radius of a mapping (Ali et al.): the smallest uniform
+/// relative inflation r of the ETCs of any single machine's queue that
+/// pushes the realized makespan past `tau`. Infinite when even the loaded
+/// machines cannot reach tau (empty queues). Under uniform inflation of
+/// machine m's queue, its completion is ready + (1 + r) * work, so
+/// r_m = (tau - completion_m) / work_m and the radius is min over machines.
+double robustness_radius(const sched::Schedule& mapping, double tau);
+
+}  // namespace hcsched::sim

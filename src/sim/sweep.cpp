@@ -1,0 +1,52 @@
+#include "sim/sweep.hpp"
+
+namespace hcsched::sim {
+
+std::vector<SweepPoint> standard_sweep() {
+  constexpr double kHigh = 0.9;
+  constexpr double kLow = 0.3;
+  const struct {
+    const char* name;
+    double v_task;
+    double v_machine;
+  } cells[] = {
+      {"HiHi", kHigh, kHigh},
+      {"HiLo", kHigh, kLow},
+      {"LoHi", kLow, kHigh},
+      {"LoLo", kLow, kLow},
+  };
+  std::vector<SweepPoint> points;
+  for (etc::Consistency c :
+       {etc::Consistency::kInconsistent, etc::Consistency::kSemiConsistent,
+        etc::Consistency::kConsistent}) {
+    for (const auto& cell : cells) {
+      SweepPoint p;
+      p.label = std::string(etc::to_string(c)) + " " + cell.name;
+      p.consistency = c;
+      p.v_task = cell.v_task;
+      p.v_machine = cell.v_machine;
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+std::vector<SweepResult> run_sweep(const StudyParams& base,
+                                   const std::vector<SweepPoint>& points,
+                                   ThreadPool& pool) {
+  std::vector<SweepResult> results;
+  results.reserve(points.size());
+  for (const SweepPoint& point : points) {
+    StudyParams params = base;
+    params.consistency = point.consistency;
+    params.cvb.v_task = point.v_task;
+    params.cvb.v_machine = point.v_machine;
+    SweepResult r;
+    r.point = point;
+    r.rows = run_iterative_study(params, pool);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace hcsched::sim

@@ -1,0 +1,32 @@
+// Parameter sweeps across the literature's heterogeneity/consistency grid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace hcsched::sim {
+
+struct SweepPoint {
+  std::string label{};       ///< e.g. "inconsistent HiHi"
+  etc::Consistency consistency = etc::Consistency::kInconsistent;
+  double v_task = 0.6;
+  double v_machine = 0.6;
+};
+
+/// The canonical 12-cell grid: {inconsistent, semi-consistent, consistent}
+/// x {HiHi, HiLo, LoHi, LoLo} with CoVs 0.9 (high) / 0.3 (low).
+std::vector<SweepPoint> standard_sweep();
+
+struct SweepResult {
+  SweepPoint point{};
+  std::vector<StudyRow> rows{};
+};
+
+/// Runs the iterative study at every sweep point (same trials/seed layout).
+std::vector<SweepResult> run_sweep(const StudyParams& base,
+                                   const std::vector<SweepPoint>& points,
+                                   ThreadPool& pool);
+
+}  // namespace hcsched::sim

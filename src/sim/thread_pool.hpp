@@ -1,0 +1,53 @@
+// Fixed-size thread pool for the Monte-Carlo harness.
+//
+// Workers pull std::move_only_function jobs from one mutex-guarded queue —
+// contention is negligible because the harness submits coarse trial-sized
+// jobs. parallel_for_chunks statically splits an index range into one chunk
+// per worker (trials are balanced by construction: each runs the same
+// heuristics on same-sized instances). Exceptions thrown by jobs are
+// captured into the future returned by submit(); parallel_for_chunks
+// rethrows the first one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hcsched::sim {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a job; the future reports completion or the job's exception.
+  std::future<void> submit(std::function<void()> job);
+
+  /// Runs body(begin, end) over disjoint chunks of [0, n) across the pool,
+  /// blocking until all complete. Rethrows the first chunk exception.
+  void parallel_for_chunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_{};
+  std::deque<std::packaged_task<void()>> queue_{};
+  std::mutex mutex_{};
+  std::condition_variable cv_{};
+  bool stopping_ = false;
+};
+
+}  // namespace hcsched::sim

@@ -1,0 +1,124 @@
+#include "heuristics/astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimal.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::core::solve_optimal;
+using hcsched::etc::EtcMatrix;
+using hcsched::heuristics::AStar;
+using hcsched::heuristics::AStarConfig;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+EtcMatrix random_matrix(std::uint64_t seed, std::size_t tasks,
+                        std::size_t machines) {
+  Rng rng(seed);
+  hcsched::etc::CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return hcsched::etc::CvbEtcGenerator(p).generate(rng);
+}
+
+TEST(AStar, RejectsZeroBeam) {
+  EXPECT_THROW(AStar(AStarConfig{.beam_width = 0}), std::invalid_argument);
+}
+
+TEST(AStar, OptimalOnSmallInstancesWithWideBeam) {
+  // With an admissible h and a beam wide enough to never prune, A* is
+  // exact — compare against the branch-and-bound oracle.
+  const AStar astar(AStarConfig{.beam_width = 200000,
+                                .max_expansions = 2000000});
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 8, 3);
+    const Problem p = Problem::full(m);
+    TieBreaker ties;
+    const Schedule s = astar.map(p, ties);
+    const auto exact = solve_optimal(p);
+    ASSERT_TRUE(exact.proven_optimal);
+    EXPECT_NEAR(s.makespan(), exact.makespan, 1e-9) << "seed " << seed;
+    EXPECT_TRUE(hcsched::sched::is_valid(s));
+  }
+}
+
+TEST(AStar, NarrowBeamStillCompleteAndValid) {
+  const AStar astar(AStarConfig{.beam_width = 8});
+  const EtcMatrix m = random_matrix(9, 20, 5);
+  TieBreaker ties;
+  const Schedule s = astar.map(Problem::full(m), ties);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(s));
+}
+
+TEST(AStar, WiderBeamNeverHurts) {
+  const EtcMatrix m = random_matrix(21, 14, 4);
+  const Problem p = Problem::full(m);
+  TieBreaker t1;
+  TieBreaker t2;
+  const double narrow =
+      AStar(AStarConfig{.beam_width = 4}).map(p, t1).makespan();
+  const double wide =
+      AStar(AStarConfig{.beam_width = 4096}).map(p, t2).makespan();
+  EXPECT_LE(wide, narrow + 1e-9);
+}
+
+TEST(AStar, CompetitiveWithMinMin) {
+  const AStar astar;  // default beam 1024
+  const auto minmin = hcsched::heuristics::make_heuristic("Min-Min");
+  int astar_not_worse = 0;
+  for (std::uint64_t seed = 30; seed < 40; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 12, 4);
+    const Problem p = Problem::full(m);
+    TieBreaker t1;
+    TieBreaker t2;
+    if (astar.map(p, t1).makespan() <=
+        minmin->map(p, t2).makespan() + 1e-9) {
+      ++astar_not_worse;
+    }
+  }
+  EXPECT_GE(astar_not_worse, 8);  // A* should dominate at this size
+}
+
+TEST(AStar, DeterministicRunToRun) {
+  const AStar astar;
+  const EtcMatrix m = random_matrix(77, 16, 4);
+  const Problem p = Problem::full(m);
+  TieBreaker t1;
+  TieBreaker t2;
+  EXPECT_TRUE(astar.map(p, t1).same_mapping(astar.map(p, t2)));
+}
+
+TEST(AStar, HandlesReadyTimesAndSubsets) {
+  const EtcMatrix m = random_matrix(5, 10, 4);
+  const Problem p(m, {0, 2, 4, 6}, {1, 3}, {50.0, 0.0});
+  const AStar astar;
+  TieBreaker ties;
+  const Schedule s = astar.map(p, ties);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(s));
+  EXPECT_GE(s.completion_time(1), 50.0 - 1e-9);
+}
+
+TEST(AStar, RegisteredInTheRegistry) {
+  const auto h = hcsched::heuristics::make_heuristic("A*");
+  EXPECT_EQ(h->name(), "A*");
+  EXPECT_EQ(hcsched::heuristics::make_heuristic("astar")->name(), "A*");
+}
+
+TEST(AStar, ExpansionCapFallsBackGracefully) {
+  const AStar astar(AStarConfig{.beam_width = 4, .max_expansions = 2});
+  const EtcMatrix m = random_matrix(8, 15, 4);
+  TieBreaker ties;
+  const Schedule s = astar.map(Problem::full(m), ties);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(s));
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include "sim/batch_online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/cvb_generator.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sim::BatchOnlineConfig;
+using hcsched::sim::BatchOnlineDispatcher;
+using hcsched::sim::BatchPolicy;
+using hcsched::sim::OnlineResult;
+using hcsched::sim::OnlineTask;
+
+TEST(BatchOnline, RejectsBadConfigAndInput) {
+  EXPECT_THROW(BatchOnlineDispatcher(BatchOnlineConfig{.interval = 0.0}),
+               std::invalid_argument);
+  BatchOnlineDispatcher dispatcher;
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2}});
+  TieBreaker ties;
+  EXPECT_THROW((void)dispatcher.run(m, {{0, 0.0}}, {0.0}, ties),
+               std::invalid_argument);
+  EXPECT_THROW((void)dispatcher.run(m, {{5, 0.0}}, {0.0, 0.0}, ties),
+               std::out_of_range);
+  EXPECT_THROW(
+      (void)dispatcher.run(m, {{0, 3.0}, {0, 1.0}}, {0.0, 0.0}, ties),
+      std::invalid_argument);
+}
+
+TEST(BatchOnline, SingleEventMapsLikeMinMinMetaTask) {
+  // All tasks arrive before the first event: one Min-Min mapping at t =
+  // interval over machines ready at the event time.
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 9}, {9, 1}, {4, 4}});
+  BatchOnlineDispatcher dispatcher(
+      BatchOnlineConfig{.policy = BatchPolicy::kMinMin, .interval = 10.0});
+  const std::vector<OnlineTask> stream = {{0, 0.0}, {1, 1.0}, {2, 2.0}};
+  TieBreaker ties;
+  const OnlineResult r = dispatcher.run(m, stream, {0.0, 0.0}, ties);
+  ASSERT_EQ(r.records.size(), 3u);
+  // Machines are busy until the event time at the earliest.
+  for (const auto& rec : r.records) EXPECT_GE(rec.start, 10.0);
+  // Min-Min meta-task result (hand-traced in test_heuristics_basic):
+  // t1 -> m1, t0 -> m0, t2 -> m1.
+  EXPECT_DOUBLE_EQ(r.makespan(), 15.0);  // 10 + 5
+}
+
+TEST(BatchOnline, TasksArrivingAfterAnEventWaitForTheNext) {
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 1}});
+  BatchOnlineDispatcher dispatcher(
+      BatchOnlineConfig{.policy = BatchPolicy::kMinMin, .interval = 5.0});
+  const std::vector<OnlineTask> stream = {{0, 1.0}};
+  TieBreaker ties;
+  const OnlineResult r = dispatcher.run(m, stream, {0.0, 0.0}, ties);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.records[0].start, 5.0);  // waits for the event
+  EXPECT_DOUBLE_EQ(r.records[0].finish, 6.0);
+}
+
+TEST(BatchOnline, MultipleEventsAccumulateLoad) {
+  const EtcMatrix m = EtcMatrix::from_rows({{3, 100}});
+  BatchOnlineDispatcher dispatcher(
+      BatchOnlineConfig{.policy = BatchPolicy::kMinMin, .interval = 2.0});
+  // One task per event window; all prefer m0, so they chain there.
+  const std::vector<OnlineTask> stream = {{0, 0.5}, {0, 2.5}, {0, 4.5}};
+  TieBreaker ties;
+  const OnlineResult r = dispatcher.run(m, stream, {0.0, 0.0}, ties);
+  ASSERT_EQ(r.records.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.records[0].start, 2.0);
+  EXPECT_DOUBLE_EQ(r.records[0].finish, 5.0);
+  EXPECT_DOUBLE_EQ(r.records[1].start, 5.0);  // queued behind the first
+  EXPECT_DOUBLE_EQ(r.records[2].start, 8.0);
+}
+
+TEST(BatchOnline, DuplicateIdsInOneBatchAreAllServed) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 3}});
+  BatchOnlineDispatcher dispatcher(
+      BatchOnlineConfig{.policy = BatchPolicy::kMinMin, .interval = 10.0});
+  const std::vector<OnlineTask> stream = {{0, 0.0}, {0, 1.0}, {0, 2.0}};
+  TieBreaker ties;
+  const OnlineResult r = dispatcher.run(m, stream, {0.0, 0.0}, ties);
+  EXPECT_EQ(r.records.size(), 3u);
+}
+
+TEST(BatchOnline, AllPoliciesProduceCoherentResults) {
+  Rng rng(3);
+  hcsched::etc::CvbParams params;
+  params.num_tasks = 12;
+  params.num_machines = 4;
+  params.mean_task_time = 10.0;
+  const EtcMatrix m = hcsched::etc::CvbEtcGenerator(params).generate(rng);
+  const auto stream = hcsched::sim::make_arrival_stream(30, 3.0, 12, rng);
+  for (BatchPolicy policy : {BatchPolicy::kMinMin, BatchPolicy::kMaxMin,
+                             BatchPolicy::kSufferage}) {
+    BatchOnlineDispatcher dispatcher(
+        BatchOnlineConfig{.policy = policy, .interval = 8.0});
+    TieBreaker ties;
+    const OnlineResult r =
+        dispatcher.run(m, stream, {0.0, 0.0, 0.0, 0.0}, ties);
+    EXPECT_EQ(r.records.size(), 30u) << to_string(policy);
+    for (const auto& rec : r.records) {
+      EXPECT_GE(rec.start, rec.arrival - 1e-9) << to_string(policy);
+      EXPECT_GT(rec.finish, rec.start) << to_string(policy);
+    }
+    EXPECT_GT(r.mean_flow_time(), 0.0) << to_string(policy);
+  }
+}
+
+TEST(BatchOnline, PolicyNames) {
+  EXPECT_STREQ(to_string(BatchPolicy::kMinMin), "Min-Min");
+  EXPECT_STREQ(to_string(BatchPolicy::kMaxMin), "Max-Min");
+  EXPECT_STREQ(to_string(BatchPolicy::kSufferage), "Sufferage");
+}
+
+}  // namespace

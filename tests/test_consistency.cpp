@@ -1,0 +1,96 @@
+#include "etc/consistency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/range_generator.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using hcsched::etc::Consistency;
+using hcsched::etc::EtcMatrix;
+using hcsched::etc::is_consistent;
+using hcsched::etc::is_semi_consistent;
+using hcsched::etc::shape_consistency;
+
+TEST(Consistency, ConsistentShapingSortsEveryRow) {
+  const EtcMatrix raw = EtcMatrix::from_rows({{3, 1, 2}, {9, 7, 8}});
+  const EtcMatrix shaped = shape_consistency(raw, Consistency::kConsistent);
+  EXPECT_DOUBLE_EQ(shaped.at(0, 0), 1);
+  EXPECT_DOUBLE_EQ(shaped.at(0, 1), 2);
+  EXPECT_DOUBLE_EQ(shaped.at(0, 2), 3);
+  EXPECT_DOUBLE_EQ(shaped.at(1, 0), 7);
+  EXPECT_TRUE(is_consistent(shaped));
+}
+
+TEST(Consistency, InconsistentShapingIsIdentity) {
+  const EtcMatrix raw = EtcMatrix::from_rows({{3, 1, 2}, {9, 7, 8}});
+  EXPECT_EQ(shape_consistency(raw, Consistency::kInconsistent), raw);
+}
+
+TEST(Consistency, SemiConsistentSortsEvenColumnsOnly) {
+  const EtcMatrix raw = EtcMatrix::from_rows({{5, 1, 3, 2}, {8, 9, 6, 7}});
+  const EtcMatrix shaped =
+      shape_consistency(raw, Consistency::kSemiConsistent);
+  // Even columns (0, 2) sorted per row; odd columns untouched.
+  EXPECT_DOUBLE_EQ(shaped.at(0, 0), 3);
+  EXPECT_DOUBLE_EQ(shaped.at(0, 2), 5);
+  EXPECT_DOUBLE_EQ(shaped.at(0, 1), 1);
+  EXPECT_DOUBLE_EQ(shaped.at(0, 3), 2);
+  EXPECT_DOUBLE_EQ(shaped.at(1, 0), 6);
+  EXPECT_DOUBLE_EQ(shaped.at(1, 2), 8);
+  EXPECT_TRUE(is_semi_consistent(shaped));
+}
+
+TEST(Consistency, DetectorsRejectCounterexamples) {
+  // Column order flips between rows: inconsistent.
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2}, {2, 1}});
+  EXPECT_FALSE(is_consistent(m));
+  // Even columns flip between rows (columns 0 and 2).
+  const EtcMatrix s = EtcMatrix::from_rows({{1, 0, 2, 0}, {2, 0, 1, 0}});
+  EXPECT_FALSE(is_semi_consistent(s));
+}
+
+TEST(Consistency, DetectorsAcceptTrivialCases) {
+  EXPECT_TRUE(is_consistent(EtcMatrix(0, 0)));
+  EXPECT_TRUE(is_consistent(EtcMatrix::from_rows({{5}})));
+  EXPECT_TRUE(is_semi_consistent(EtcMatrix::from_rows({{5, 1}, {2, 9}})));
+}
+
+TEST(Consistency, ToStringLabels) {
+  EXPECT_STREQ(hcsched::etc::to_string(Consistency::kConsistent),
+               "consistent");
+  EXPECT_STREQ(hcsched::etc::to_string(Consistency::kSemiConsistent),
+               "semi-consistent");
+  EXPECT_STREQ(hcsched::etc::to_string(Consistency::kInconsistent),
+               "inconsistent");
+}
+
+class ConsistencyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyPropertyTest, ShapingEstablishesTheInvariantOnRandomInput) {
+  hcsched::rng::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  hcsched::etc::RangeEtcGenerator gen(
+      hcsched::etc::RangeParams{.num_tasks = 20, .num_machines = 7});
+  const EtcMatrix raw = gen.generate(rng);
+  const EtcMatrix cons = shape_consistency(raw, Consistency::kConsistent);
+  const EtcMatrix semi = shape_consistency(raw, Consistency::kSemiConsistent);
+  EXPECT_TRUE(is_consistent(cons));
+  EXPECT_TRUE(is_semi_consistent(semi));
+  EXPECT_TRUE(is_semi_consistent(cons));  // consistent implies semi
+  // Shaping permutes values within rows: row multisets are preserved.
+  for (std::size_t t = 0; t < raw.num_tasks(); ++t) {
+    double raw_sum = 0.0;
+    double cons_sum = 0.0;
+    for (std::size_t j = 0; j < raw.num_machines(); ++j) {
+      raw_sum += raw.at(static_cast<int>(t), static_cast<int>(j));
+      cons_sum += cons.at(static_cast<int>(t), static_cast<int>(j));
+    }
+    EXPECT_NEAR(raw_sum, cons_sum, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyPropertyTest,
+                         ::testing::Range(1, 21));
+
+}  // namespace

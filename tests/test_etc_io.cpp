@@ -1,0 +1,65 @@
+#include "etc/etc_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "etc/cvb_generator.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::etc::from_csv;
+using hcsched::etc::to_csv;
+
+TEST(EtcIo, RoundTripSmall) {
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2.5}, {3.25, 4}});
+  EXPECT_EQ(from_csv(to_csv(m)), m);
+}
+
+TEST(EtcIo, RoundTripPreservesFullPrecision) {
+  EtcMatrix m(1, 2);
+  m.at(0, 0) = 0.1 + 0.2;  // 0.30000000000000004
+  m.at(0, 1) = 1.0 / 3.0;
+  EXPECT_EQ(from_csv(to_csv(m)), m);
+}
+
+TEST(EtcIo, RoundTripGeneratedMatrix) {
+  hcsched::rng::Rng rng(5);
+  hcsched::etc::CvbEtcGenerator gen(
+      hcsched::etc::CvbParams{.num_tasks = 30, .num_machines = 6});
+  const EtcMatrix m = gen.generate(rng);
+  EXPECT_EQ(from_csv(to_csv(m)), m);
+}
+
+TEST(EtcIo, HeaderFormat) {
+  const EtcMatrix m = EtcMatrix::from_rows({{7, 8, 9}});
+  const std::string csv = to_csv(m);
+  EXPECT_EQ(csv.substr(0, 4), "1,3\n");
+}
+
+TEST(EtcIo, MissingHeaderThrows) {
+  std::istringstream empty("");
+  EXPECT_THROW(hcsched::etc::read_csv(empty), std::runtime_error);
+}
+
+TEST(EtcIo, MalformedHeaderThrows) {
+  EXPECT_THROW(from_csv("banana\n1,2\n"), std::runtime_error);
+  EXPECT_THROW(from_csv("2;2\n"), std::runtime_error);
+}
+
+TEST(EtcIo, TruncatedBodyThrows) {
+  EXPECT_THROW(from_csv("2,2\n1,2\n"), std::runtime_error);
+}
+
+TEST(EtcIo, ShortRowThrows) {
+  EXPECT_THROW(from_csv("1,3\n1,2\n"), std::runtime_error);
+}
+
+TEST(EtcIo, EmptyMatrixRoundTrips) {
+  EtcMatrix m(0, 0);
+  EXPECT_EQ(from_csv(to_csv(m)), m);
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+#include "ga/genitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etc/cvb_generator.hpp"
+#include "ga/operators.hpp"
+#include "heuristics/minmin.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::etc::CvbEtcGenerator;
+using hcsched::etc::CvbParams;
+using hcsched::etc::EtcMatrix;
+using hcsched::ga::Chromosome;
+using hcsched::ga::Genitor;
+using hcsched::ga::GenitorConfig;
+using hcsched::ga::Member;
+using hcsched::ga::Population;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+EtcMatrix random_matrix(std::uint64_t seed, std::size_t tasks = 20,
+                        std::size_t machines = 4) {
+  Rng rng(seed);
+  CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return CvbEtcGenerator(p).generate(rng);
+}
+
+TEST(Chromosome, EvaluateMatchesDecodedSchedule) {
+  const EtcMatrix m = random_matrix(1);
+  const Problem p = Problem::full(m);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const Chromosome c = Chromosome::random(p, rng);
+    EXPECT_NEAR(c.evaluate(p), c.decode(p).makespan(), 1e-9);
+  }
+}
+
+TEST(Chromosome, FromScheduleRoundTrips) {
+  const EtcMatrix m = random_matrix(3);
+  const Problem p = Problem::full(m);
+  Rng rng(4);
+  const Chromosome c = Chromosome::random(p, rng);
+  const Schedule s = c.decode(p);
+  const Chromosome back = Chromosome::from_schedule(p, s);
+  EXPECT_EQ(c, back);
+}
+
+TEST(Chromosome, SizeMismatchThrows) {
+  const EtcMatrix m = random_matrix(5);
+  const Problem p = Problem::full(m);
+  Chromosome wrong(std::vector<std::uint32_t>{0, 1});
+  EXPECT_THROW((void)wrong.evaluate(p), std::invalid_argument);
+  EXPECT_THROW((void)wrong.decode(p), std::invalid_argument);
+}
+
+TEST(Operators, CrossoverExchangesPrefix) {
+  Chromosome a(std::vector<std::uint32_t>{0, 0, 0, 0, 0});
+  Chromosome b(std::vector<std::uint32_t>{1, 1, 1, 1, 1});
+  Rng rng(6);
+  const auto [x, y] = hcsched::ga::crossover(a, b, rng);
+  // Per-position: each offspring holds one parent's gene and the genes are
+  // complementary.
+  std::size_t boundary_changes = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(x.genes()[i] + y.genes()[i], 1u);
+    if (i > 0 && x.genes()[i] != x.genes()[i - 1]) ++boundary_changes;
+  }
+  EXPECT_EQ(boundary_changes, 1u);  // single cut point
+}
+
+TEST(Operators, CrossoverSizeMismatchThrows) {
+  Chromosome a(std::vector<std::uint32_t>{0, 0});
+  Chromosome b(std::vector<std::uint32_t>{1});
+  Rng rng(7);
+  EXPECT_THROW((void)hcsched::ga::crossover(a, b, rng),
+               std::invalid_argument);
+}
+
+TEST(Operators, MutateChangesExactlyOneGeneSlot) {
+  Chromosome c(std::vector<std::uint32_t>{0, 0, 0, 0});
+  Rng rng(8);
+  const std::size_t idx = hcsched::ga::mutate(c, 5, rng);
+  ASSERT_NE(idx, hcsched::ga::kNpos);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i != idx) {
+      EXPECT_EQ(c.genes()[i], 0u);
+    }
+  }
+  EXPECT_LT(c.genes()[idx], 5u);
+}
+
+TEST(Population, KeepsSortedAndBounded) {
+  Population pop(3);
+  pop.insert(Member{Chromosome({0}), 5.0});
+  pop.insert(Member{Chromosome({0}), 2.0});
+  pop.insert(Member{Chromosome({0}), 8.0});
+  EXPECT_DOUBLE_EQ(pop.best().makespan, 2.0);
+  EXPECT_DOUBLE_EQ(pop.worst().makespan, 8.0);
+  // Overflow: inserting 1.0 evicts 8.0.
+  EXPECT_TRUE(pop.insert(Member{Chromosome({0}), 1.0}));
+  EXPECT_EQ(pop.size(), 3u);
+  EXPECT_DOUBLE_EQ(pop.best().makespan, 1.0);
+  EXPECT_DOUBLE_EQ(pop.worst().makespan, 5.0);
+  // Inserting something worse than the worst dies immediately.
+  EXPECT_FALSE(pop.insert(Member{Chromosome({0}), 9.0}));
+  EXPECT_DOUBLE_EQ(pop.worst().makespan, 5.0);
+}
+
+TEST(Population, SelectionPrefersGoodRanks) {
+  Population pop(50, 1.9);
+  for (int i = 0; i < 50; ++i) {
+    pop.insert(Member{Chromosome({0}), static_cast<double>(i)});
+  }
+  Rng rng(9);
+  std::size_t top_half = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (pop.select_rank(rng) < 25) ++top_half;
+  }
+  EXPECT_GT(static_cast<double>(top_half) / kDraws, 0.60);
+}
+
+TEST(Population, RejectsBadConfig) {
+  EXPECT_THROW(Population(0), std::invalid_argument);
+  EXPECT_THROW(Population(5, 0.5), std::invalid_argument);
+  EXPECT_THROW(Population(5, 2.5), std::invalid_argument);
+}
+
+TEST(Genitor, NeverWorseThanItsMinMinSeed) {
+  GenitorConfig cfg;
+  cfg.population_size = 40;
+  cfg.total_steps = 300;
+  const Genitor genitor(cfg);
+  hcsched::heuristics::MinMin minmin;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const EtcMatrix m = random_matrix(seed + 20);
+    const Problem p = Problem::full(m);
+    TieBreaker t1;
+    TieBreaker t2;
+    const double ga_span = genitor.map(p, t1).makespan();
+    const double mm_span = minmin.map(p, t2).makespan();
+    EXPECT_LE(ga_span, mm_span + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Genitor, SeededRunNeverWorseThanSeed) {
+  GenitorConfig cfg;
+  cfg.population_size = 30;
+  cfg.total_steps = 200;
+  cfg.seed_with_minmin = false;
+  const Genitor genitor(cfg);
+  const EtcMatrix m = random_matrix(42);
+  const Problem p = Problem::full(m);
+  // A deliberately bad seed: everything on machine 0.
+  Schedule bad(p);
+  for (int t : p.tasks()) bad.assign(t, 0);
+  TieBreaker ties;
+  const Schedule out = genitor.map_seeded(p, ties, &bad);
+  EXPECT_LE(out.makespan(), bad.makespan() + 1e-9);
+  EXPECT_TRUE(hcsched::sched::is_valid(out));
+}
+
+TEST(Genitor, ReproducibleFromConfigSeed) {
+  GenitorConfig cfg;
+  cfg.population_size = 25;
+  cfg.total_steps = 150;
+  cfg.seed = 777;
+  const Genitor genitor(cfg);
+  const EtcMatrix m = random_matrix(55);
+  const Problem p = Problem::full(m);
+  TieBreaker t1;
+  TieBreaker t2;
+  const Schedule a = genitor.map(p, t1);
+  const Schedule b = genitor.map(p, t2);
+  EXPECT_TRUE(a.same_mapping(b));
+}
+
+TEST(Genitor, ImprovesOverRandomInitialBest) {
+  GenitorConfig cfg;
+  cfg.population_size = 40;
+  cfg.total_steps = 500;
+  cfg.seed_with_minmin = false;  // pure random start
+  const Genitor genitor(cfg);
+  const EtcMatrix m = random_matrix(66, 30, 5);
+  const Problem p = Problem::full(m);
+  TieBreaker ties;
+  genitor.map(p, ties);
+  const auto& stats = genitor.last_run();
+  EXPECT_LT(stats.final_best, stats.initial_best);
+  EXPECT_GT(stats.improvements, 0u);
+}
+
+TEST(Genitor, EarlyStoppingCapsSteps) {
+  GenitorConfig cfg;
+  cfg.population_size = 20;
+  cfg.total_steps = 100000;
+  cfg.stop_after_stale = 50;
+  const Genitor genitor(cfg);
+  const EtcMatrix m = random_matrix(77, 10, 3);
+  TieBreaker ties;
+  genitor.map(Problem::full(m), ties);
+  EXPECT_LT(genitor.last_run().steps_executed, 100000u);
+}
+
+TEST(Genitor, RejectsBadConfig) {
+  GenitorConfig cfg;
+  cfg.population_size = 1;
+  EXPECT_THROW(Genitor{cfg}, std::invalid_argument);
+}
+
+}  // namespace

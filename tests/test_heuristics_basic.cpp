@@ -1,0 +1,164 @@
+// Hand-computed mappings for every greedy heuristic on small instances.
+#include <gtest/gtest.h>
+
+#include "heuristics/duplex.hpp"
+#include "heuristics/mct.hpp"
+#include "heuristics/met.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/olb.hpp"
+#include "rng/tie_break.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+TEST(Mct, GreedyEarliestCompletion) {
+  // t0 -> m0 (2); t1 -> m1 (1); t2: CT m0 = 2+4 = 6 vs m1 = 1+4 = 5 -> m1.
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 9}, {9, 1}, {4, 4}});
+  hcsched::heuristics::Mct mct;
+  TieBreaker ties;
+  const Schedule s = mct.map(Problem::full(m), ties);
+  EXPECT_EQ(*s.machine_of(0), 0);
+  EXPECT_EQ(*s.machine_of(1), 1);
+  EXPECT_EQ(*s.machine_of(2), 1);
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+}
+
+TEST(Mct, AccountsForInitialReadyTimes) {
+  // m0 is busy until t=10, so even a slow m1 wins.
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 5}});
+  const Problem p(m, {0}, {0, 1}, {10.0, 0.0});
+  hcsched::heuristics::Mct mct;
+  TieBreaker ties;
+  const Schedule s = mct.map(p, ties);
+  EXPECT_EQ(*s.machine_of(0), 1);
+  EXPECT_DOUBLE_EQ(s.completion_time(1), 5.0);
+}
+
+TEST(Met, IgnoresReadyTimes) {
+  // All tasks pile onto the fastest machine no matter the load.
+  const EtcMatrix m =
+      EtcMatrix::from_rows({{1, 2}, {1, 2}, {1, 2}, {1, 2}});
+  hcsched::heuristics::Met met;
+  TieBreaker ties;
+  const Schedule s = met.map(Problem::full(m), ties);
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(*s.machine_of(t), 0);
+  EXPECT_DOUBLE_EQ(s.completion_time(0), 4.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(1), 0.0);
+}
+
+TEST(Met, IgnoresInitialReadyTimesToo) {
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 5}});
+  const Problem p(m, {0}, {0, 1}, {100.0, 0.0});
+  hcsched::heuristics::Met met;
+  TieBreaker ties;
+  const Schedule s = met.map(p, ties);
+  EXPECT_EQ(*s.machine_of(0), 0);  // min ETC, despite the backlog
+  EXPECT_DOUBLE_EQ(s.completion_time(0), 101.0);
+}
+
+TEST(Olb, BalancesLoadIgnoringEtc) {
+  // OLB sends each task to the soonest-ready machine even if slow there.
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 100}, {1, 100}});
+  hcsched::heuristics::Olb olb;
+  TieBreaker ties;
+  const Schedule s = olb.map(Problem::full(m), ties);
+  EXPECT_EQ(*s.machine_of(0), 0);  // both idle: tie -> lowest slot
+  EXPECT_EQ(*s.machine_of(1), 1);  // m0 busy until 1, m1 idle
+  EXPECT_DOUBLE_EQ(s.makespan(), 100.0);
+}
+
+TEST(MinMin, MapsShortTasksFirst) {
+  // Phase-2 minimum is t1 (CT 1 on m1), then t0 (2 on m0), then t2.
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 9}, {9, 1}, {4, 4}});
+  hcsched::heuristics::MinMin minmin;
+  TieBreaker ties;
+  const Schedule s = minmin.map(Problem::full(m), ties);
+  EXPECT_EQ(s.assignment_order()[0].task, 1);
+  EXPECT_EQ(s.assignment_order()[1].task, 0);
+  EXPECT_EQ(s.assignment_order()[2].task, 2);
+  EXPECT_EQ(*s.machine_of(2), 1);  // CT 5 on m1 beats 6 on m0
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+}
+
+TEST(MaxMin, MapsLongTasksFirst) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 9}, {9, 1}, {4, 4}});
+  hcsched::heuristics::MaxMin maxmin;
+  TieBreaker ties;
+  const Schedule s = maxmin.map(Problem::full(m), ties);
+  // Phase-1 minima: t0 -> 2, t1 -> 1, t2 -> 4; Max-Min starts with t2.
+  EXPECT_EQ(s.assignment_order()[0].task, 2);
+}
+
+TEST(MaxMin, CanBeatMinMinOnSkewedInstances) {
+  // Classic case: one long task plus fillers. Min-Min handles the fillers
+  // first and then the long task lands on a loaded machine.
+  const EtcMatrix m =
+      EtcMatrix::from_rows({{8, 9}, {2, 3}, {2, 3}, {2, 3}});
+  hcsched::heuristics::MinMin minmin;
+  hcsched::heuristics::MaxMin maxmin;
+  TieBreaker t1;
+  TieBreaker t2;
+  const double min_span = minmin.map(Problem::full(m), t1).makespan();
+  const double max_span = maxmin.map(Problem::full(m), t2).makespan();
+  EXPECT_LT(max_span, min_span);
+}
+
+TEST(Duplex, TakesTheBetterOfMinMinAndMaxMin) {
+  const EtcMatrix skew =
+      EtcMatrix::from_rows({{8, 9}, {2, 3}, {2, 3}, {2, 3}});
+  hcsched::heuristics::MinMin minmin;
+  hcsched::heuristics::MaxMin maxmin;
+  hcsched::heuristics::Duplex duplex;
+  TieBreaker t1;
+  TieBreaker t2;
+  TieBreaker t3;
+  const double d = duplex.map(Problem::full(skew), t3).makespan();
+  const double mn = minmin.map(Problem::full(skew), t1).makespan();
+  const double mx = maxmin.map(Problem::full(skew), t2).makespan();
+  EXPECT_DOUBLE_EQ(d, std::min(mn, mx));
+}
+
+TEST(AllGreedy, SingleMachineEverythingPilesUp) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2}, {3}, {4}});
+  const Problem p = Problem::full(m);
+  hcsched::heuristics::Mct mct;
+  hcsched::heuristics::Met met;
+  hcsched::heuristics::Olb olb;
+  hcsched::heuristics::MinMin minmin;
+  for (hcsched::heuristics::Heuristic* h :
+       std::initializer_list<hcsched::heuristics::Heuristic*>{
+           &mct, &met, &olb, &minmin}) {
+    TieBreaker ties;
+    const Schedule s = h->map(p, ties);
+    EXPECT_DOUBLE_EQ(s.makespan(), 9.0) << h->name();
+    EXPECT_TRUE(hcsched::sched::is_valid(s)) << h->name();
+  }
+}
+
+TEST(Mct, ScriptedTieReproducesAlternative) {
+  const EtcMatrix m = EtcMatrix::from_rows({{5, 5}});
+  const Problem p = Problem::full(m);
+  hcsched::heuristics::Mct mct;
+  TieBreaker det;
+  EXPECT_EQ(*mct.map(p, det).machine_of(0), 0);
+  TieBreaker scripted(std::vector<std::size_t>{1});
+  EXPECT_EQ(*mct.map(p, scripted).machine_of(0), 1);
+}
+
+TEST(MinMin, EmptyTaskListYieldsEmptySchedule) {
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2}});
+  const Problem p(m, {}, {0, 1});
+  hcsched::heuristics::MinMin minmin;
+  TieBreaker ties;
+  const Schedule s = minmin.map(p, ties);
+  EXPECT_EQ(s.num_assigned(), 0u);
+  EXPECT_TRUE(s.complete());
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+}
+
+}  // namespace

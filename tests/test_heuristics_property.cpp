@@ -1,0 +1,157 @@
+// Property sweeps over every registered heuristic on random instances.
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include <algorithm>
+#include <string>
+
+#include "etc/cvb_generator.hpp"
+#include "heuristics/kpb.hpp"
+#include "heuristics/mct.hpp"
+#include "heuristics/met.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/olb.hpp"
+#include "heuristics/registry.hpp"
+#include "rng/rng.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::etc::CvbEtcGenerator;
+using hcsched::etc::CvbParams;
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+EtcMatrix random_matrix(std::uint64_t seed, std::size_t tasks,
+                        std::size_t machines) {
+  Rng rng(seed);
+  CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  p.mean_task_time = 100.0;
+  return CvbEtcGenerator(p).generate(rng);
+}
+
+/// Lower bound on any mapping's makespan: the cheapest possible placement of
+/// the most constrained task.
+double trivial_lower_bound(const EtcMatrix& m) {
+  double lb = 0.0;
+  for (std::size_t t = 0; t < m.num_tasks(); ++t) {
+    const auto row = m.row(static_cast<int>(t));
+    lb = std::max(lb, *std::min_element(row.begin(), row.end()));
+  }
+  return lb;
+}
+
+class HeuristicPropertyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(HeuristicPropertyTest, ProducesCompleteValidSchedules) {
+  const auto heuristic = hcsched::heuristics::make_heuristic(GetParam());
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 24, 5);
+    TieBreaker ties;
+    const Schedule s = heuristic->map(Problem::full(m), ties);
+    EXPECT_TRUE(s.complete());
+    const auto errors = hcsched::sched::validate(s);
+    EXPECT_TRUE(errors.empty())
+        << GetParam() << " seed " << seed << ": "
+        << (errors.empty() ? "" : errors.front());
+  }
+}
+
+TEST_P(HeuristicPropertyTest, RespectsTrivialMakespanBounds) {
+  const auto heuristic = hcsched::heuristics::make_heuristic(GetParam());
+  for (std::uint64_t seed = 10; seed <= 14; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 30, 4);
+    TieBreaker ties;
+    const Schedule s = heuristic->map(Problem::full(m), ties);
+    EXPECT_GE(s.makespan() + 1e-9, trivial_lower_bound(m)) << GetParam();
+    EXPECT_LE(s.makespan(), m.total() + 1e-9) << GetParam();
+  }
+}
+
+TEST_P(HeuristicPropertyTest, DeterministicRunToRun) {
+  const auto heuristic = hcsched::heuristics::make_heuristic(GetParam());
+  const EtcMatrix m = random_matrix(99, 20, 6);
+  TieBreaker t1;
+  TieBreaker t2;
+  const Schedule a = heuristic->map(Problem::full(m), t1);
+  const Schedule b = heuristic->map(Problem::full(m), t2);
+  EXPECT_TRUE(a.same_mapping(b)) << GetParam();
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan()) << GetParam();
+}
+
+TEST_P(HeuristicPropertyTest, HandlesSubsetProblemsWithReadyTimes) {
+  const auto heuristic = hcsched::heuristics::make_heuristic(GetParam());
+  const EtcMatrix m = random_matrix(7, 12, 4);
+  const Problem p(m, {1, 3, 5, 7, 9}, {0, 2, 3}, {50.0, 0.0, 25.0});
+  TieBreaker ties;
+  const Schedule s = heuristic->map(p, ties);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(s)) << GetParam();
+  // No machine can finish before its initial ready time.
+  EXPECT_GE(s.completion_time(0), 50.0 - 1e-9);
+  EXPECT_GE(s.completion_time(3), 25.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeuristics, HeuristicPropertyTest,
+    ::testing::ValuesIn(hcsched::heuristics::known_heuristic_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(HeuristicComparisons, KpbWithFullPercentEqualsMct) {
+  hcsched::heuristics::Kpb kpb100(100.0);
+  hcsched::heuristics::Mct mct;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 18, 5);
+    TieBreaker t1;
+    TieBreaker t2;
+    const Schedule a = kpb100.map(Problem::full(m), t1);
+    const Schedule b = mct.map(Problem::full(m), t2);
+    EXPECT_TRUE(a.same_mapping(b)) << "seed " << seed;
+  }
+}
+
+TEST(HeuristicComparisons, KpbWithSingletonSubsetEqualsMet) {
+  // 1/|M| percent: subset size floor(5 * 20 / 100) = 1.
+  hcsched::heuristics::Kpb kpb_met(20.0);
+  hcsched::heuristics::Met met;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const EtcMatrix m = random_matrix(seed + 50, 18, 5);
+    TieBreaker t1;
+    TieBreaker t2;
+    const Schedule a = kpb_met.map(Problem::full(m), t1);
+    const Schedule b = met.map(Problem::full(m), t2);
+    EXPECT_TRUE(a.same_mapping(b)) << "seed " << seed;
+  }
+}
+
+TEST(HeuristicComparisons, MinMinUsuallyBeatsOlbOnInconsistentMatrices) {
+  hcsched::heuristics::MinMin minmin;
+  hcsched::heuristics::Olb olb;
+  int minmin_wins = 0;
+  constexpr int kTrials = 20;
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
+    const EtcMatrix m = random_matrix(seed + 100, 40, 6);
+    TieBreaker t1;
+    TieBreaker t2;
+    if (minmin.map(Problem::full(m), t1).makespan() <
+        olb.map(Problem::full(m), t2).makespan()) {
+      ++minmin_wins;
+    }
+  }
+  EXPECT_GE(minmin_wins, kTrials * 3 / 4);
+}
+
+}  // namespace

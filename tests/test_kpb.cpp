@@ -1,0 +1,98 @@
+#include "heuristics/kpb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::heuristics::Kpb;
+using hcsched::heuristics::KpbStep;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+TEST(Kpb, SubsetSizeRule) {
+  const Kpb kpb(70.0);
+  EXPECT_EQ(kpb.subset_size(3), 2u);   // floor(2.1) — the paper's example
+  EXPECT_EQ(kpb.subset_size(2), 1u);   // floor(1.4) — degenerates to MET
+  EXPECT_EQ(kpb.subset_size(10), 7u);
+  EXPECT_EQ(kpb.subset_size(1), 1u);
+  const Kpb full(100.0);
+  EXPECT_EQ(full.subset_size(5), 5u);
+  const Kpb tiny(1.0);
+  EXPECT_EQ(tiny.subset_size(50), 1u);  // never below one machine
+}
+
+TEST(Kpb, RejectsInvalidPercent) {
+  EXPECT_THROW(Kpb(0.0), std::invalid_argument);
+  EXPECT_THROW(Kpb(-5.0), std::invalid_argument);
+  EXPECT_THROW(Kpb(100.5), std::invalid_argument);
+}
+
+TEST(Kpb, ConsidersOnlyBestEtcMachines) {
+  // m2 is idle but not among t0's two best-ETC machines, so KPB must not
+  // use it even though it would give the earliest completion.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {5, 6, 7},   // t0's best two: m0, m1
+      {5, 6, 7},
+      {5, 6, 7},
+  });
+  const Kpb kpb(70.0);
+  TieBreaker ties;
+  const Schedule s = kpb.map(Problem::full(m), ties);
+  EXPECT_EQ(s.tasks_on(2).size(), 0u);
+  EXPECT_TRUE(hcsched::sched::is_valid(s));
+}
+
+TEST(Kpb, TraceRecordsSubsets) {
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {1, 9, 5},   // best two: m0, m2
+      {7, 2, 3},   // best two: m1, m2
+  });
+  const Kpb kpb(70.0);
+  TieBreaker ties;
+  std::vector<KpbStep> trace;
+  const Schedule s = kpb.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].task, 0);
+  EXPECT_EQ(trace[0].subset, (std::vector<int>{0, 2}));
+  EXPECT_EQ(trace[0].machine, 0);
+  EXPECT_EQ(trace[1].subset, (std::vector<int>{1, 2}));
+  EXPECT_EQ(trace[1].machine, 1);
+  EXPECT_DOUBLE_EQ(trace[1].completion, 2.0);
+  EXPECT_TRUE(s.complete());
+}
+
+TEST(Kpb, SubsetEtcTiesResolveTowardLowerSlot) {
+  const EtcMatrix m = EtcMatrix::from_rows({{4, 4, 4}});
+  const Kpb kpb(40.0);  // subset of one machine
+  TieBreaker ties;
+  std::vector<KpbStep> trace;
+  kpb.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].machine, 0);
+}
+
+TEST(Kpb, MidRangePercentTradesLoadAndAffinity) {
+  // With k=70% the paper's intuition holds: KPB avoids MET's pile-up while
+  // never assigning a task to a machine that is poor for it.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {1, 2, 50},
+      {1, 2, 50},
+      {1, 2, 50},
+      {1, 2, 50},
+  });
+  const Kpb kpb(70.0);
+  TieBreaker ties;
+  const Schedule s = kpb.map(Problem::full(m), ties);
+  // Tasks spread over {m0, m1}; m2 never used. Hand trace: t0 -> m0 (1),
+  // t1 ties at 2 -> m0 (2), t2 -> m1 (2), t3 -> m0 (3).
+  EXPECT_EQ(s.tasks_on(2).size(), 0u);
+  EXPECT_EQ(s.tasks_on(0), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(s.tasks_on(1), (std::vector<int>{2}));
+  EXPECT_DOUBLE_EQ(s.makespan(), 3.0);
+}
+
+}  // namespace

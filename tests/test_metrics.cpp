@@ -1,0 +1,118 @@
+#include "sched/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::sched::Change;
+using hcsched::sched::ChangeSummary;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+Schedule sample_schedule(const EtcMatrix& m) {
+  Schedule s(Problem::full(m));
+  s.assign(0, 0);  // m0 = 2
+  s.assign(1, 1);  // m1 = 1
+  s.assign(2, 1);  // m1 = 5
+  return s;
+}
+
+TEST(Metrics, FinishingTimes) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  const auto ft = hcsched::sched::finishing_times(s);
+  ASSERT_EQ(ft.size(), 2u);
+  EXPECT_EQ(ft[0].first, 0);
+  EXPECT_DOUBLE_EQ(ft[0].second, 2.0);
+  EXPECT_EQ(ft[1].first, 1);
+  EXPECT_DOUBLE_EQ(ft[1].second, 5.0);
+}
+
+TEST(Metrics, MeanCompletion) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  EXPECT_DOUBLE_EQ(hcsched::sched::mean_completion(s), 3.5);
+}
+
+TEST(Metrics, TotalFlowTime) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  // Finishes: t0 at 2, t1 at 1, t2 at 5.
+  EXPECT_DOUBLE_EQ(hcsched::sched::total_flow_time(s), 8.0);
+}
+
+TEST(Metrics, NonMakespanCompletionsExcludeTheMakespanMachine) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  const auto non = hcsched::sched::non_makespan_completions(s);
+  ASSERT_EQ(non.size(), 1u);
+  EXPECT_DOUBLE_EQ(non[0], 2.0);
+}
+
+TEST(Metrics, MaxNonMakespanCompletion) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  // Makespan machine is m1 (5); the other machine finishes at 2.
+  EXPECT_DOUBLE_EQ(hcsched::sched::max_non_makespan_completion(s), 2.0);
+}
+
+TEST(Metrics, MaxNonMakespanWithSingleMachineIsZero) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2}});
+  Schedule s(Problem::full(m));
+  s.assign(0, 0);
+  EXPECT_DOUBLE_EQ(hcsched::sched::max_non_makespan_completion(s), 0.0);
+}
+
+TEST(Metrics, CompletionVariance) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  // CTs are (2, 5): mean 3.5, sample variance 4.5.
+  EXPECT_DOUBLE_EQ(hcsched::sched::completion_variance(s), 4.5);
+}
+
+TEST(Metrics, LoadBalanceIndex) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}, {4, 4}});
+  const Schedule s = sample_schedule(m);
+  EXPECT_DOUBLE_EQ(hcsched::sched::load_balance_index(s), 0.4);  // 2 / 5
+
+  // Perfectly balanced mapping.
+  const EtcMatrix b = EtcMatrix::from_rows({{3, 9}, {9, 3}});
+  Schedule balanced(Problem::full(b));
+  balanced.assign(0, 0);
+  balanced.assign(1, 1);
+  EXPECT_DOUBLE_EQ(hcsched::sched::load_balance_index(balanced), 1.0);
+
+  // Idle machine -> 0.
+  const EtcMatrix i = EtcMatrix::from_rows({{3, 9}});
+  Schedule idle(Problem::full(i));
+  idle.assign(0, 0);
+  EXPECT_DOUBLE_EQ(hcsched::sched::load_balance_index(idle), 0.0);
+}
+
+TEST(Metrics, SummarizeChangesClassifies) {
+  const std::vector<double> before = {10, 10, 10, 10};
+  const std::vector<double> after = {8, 10, 12, 10 + 1e-12};
+  const ChangeSummary cs = hcsched::sched::summarize_changes(before, after);
+  EXPECT_EQ(cs.improved, 1u);
+  EXPECT_EQ(cs.worsened, 1u);
+  EXPECT_EQ(cs.unchanged, 2u);
+  EXPECT_EQ(cs.total(), 4u);
+  EXPECT_NEAR(cs.total_delta, 0.0, 1e-9);
+}
+
+TEST(Metrics, SummarizeChangesSizeMismatchThrows) {
+  EXPECT_THROW(hcsched::sched::summarize_changes({1.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SummarizeChangesEpsilonControlsSensitivity) {
+  const std::vector<double> before = {10};
+  const std::vector<double> after = {10.5};
+  EXPECT_EQ(hcsched::sched::summarize_changes(before, after, 1.0).unchanged,
+            1u);
+  EXPECT_EQ(hcsched::sched::summarize_changes(before, after, 0.1).worsened,
+            1u);
+}
+
+}  // namespace

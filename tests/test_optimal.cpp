@@ -1,0 +1,141 @@
+#include "core/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::core::OptimalOptions;
+using hcsched::core::solve_optimal;
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+
+EtcMatrix random_matrix(std::uint64_t seed, std::size_t tasks,
+                        std::size_t machines) {
+  Rng rng(seed);
+  hcsched::etc::CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return hcsched::etc::CvbEtcGenerator(p).generate(rng);
+}
+
+/// Exhaustive reference: minimum makespan over all machine^tasks mappings.
+double brute_force(const EtcMatrix& m) {
+  const std::size_t tasks = m.num_tasks();
+  const std::size_t machines = m.num_machines();
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < tasks; ++i) total *= machines;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t code = 0; code < total; ++code) {
+    std::vector<double> load(machines, 0.0);
+    std::size_t c = code;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      load[c % machines] += m.at(static_cast<int>(t),
+                                 static_cast<int>(c % machines));
+      c /= machines;
+    }
+    best = std::min(best, *std::max_element(load.begin(), load.end()));
+  }
+  return best;
+}
+
+TEST(Optimal, MatchesBruteForceOnTinyInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 6, 3);
+    const auto result = solve_optimal(Problem::full(m));
+    EXPECT_TRUE(result.proven_optimal);
+    EXPECT_NEAR(result.makespan, brute_force(m), 1e-9) << "seed " << seed;
+    EXPECT_TRUE(hcsched::sched::is_valid(result.schedule));
+    EXPECT_TRUE(result.schedule.complete());
+  }
+}
+
+TEST(Optimal, NeverWorseThanAnyHeuristic) {
+  const EtcMatrix m = random_matrix(99, 10, 4);
+  const Problem p = Problem::full(m);
+  const auto optimal = solve_optimal(p);
+  ASSERT_TRUE(optimal.proven_optimal);
+  for (const auto& h : hcsched::heuristics::extended_heuristics()) {
+    TieBreaker ties;
+    EXPECT_LE(optimal.makespan, h->map(p, ties).makespan() + 1e-9)
+        << h->name();
+  }
+}
+
+TEST(Optimal, RespectsInitialReadyTimes) {
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 1}, {1, 1}});
+  // m0 starts busy until 10: both tasks must go to m1 -> makespan 10? No:
+  // the makespan is max(10, loads): putting both on m1 gives (10, 2) -> 10.
+  const Problem p(m, {0, 1}, {0, 1}, {10.0, 0.0});
+  const auto result = solve_optimal(p);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+  EXPECT_EQ(result.schedule.tasks_on(0).size(), 0u);
+}
+
+TEST(Optimal, HandlesTrivialCases) {
+  // No tasks.
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2}});
+  const Problem empty(m, {}, {0, 1});
+  const auto r0 = solve_optimal(empty);
+  EXPECT_TRUE(r0.proven_optimal);
+  EXPECT_DOUBLE_EQ(r0.makespan, 0.0);
+  // One machine: forced mapping.
+  const Problem one(m, {0}, {1});
+  const auto r1 = solve_optimal(one);
+  EXPECT_DOUBLE_EQ(r1.makespan, 2.0);
+  // No machines: error.
+  const Problem none(m, {0}, {});
+  EXPECT_THROW((void)solve_optimal(none), std::invalid_argument);
+}
+
+TEST(Optimal, NodeLimitDegradesGracefully) {
+  const EtcMatrix m = random_matrix(7, 14, 5);
+  OptimalOptions options;
+  options.node_limit = 50;  // far too small to finish
+  const auto result = solve_optimal(Problem::full(m), options);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_TRUE(result.schedule.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(result.schedule));
+  EXPECT_LE(result.nodes_explored, 51u);
+}
+
+TEST(Optimal, WarmStartPrunesButStaysCorrect) {
+  const EtcMatrix m = random_matrix(11, 8, 3);
+  const Problem p = Problem::full(m);
+  const auto cold = solve_optimal(p);
+  ASSERT_TRUE(cold.proven_optimal);
+  // Warm start with a loose bound: same optimum, typically fewer nodes.
+  OptimalOptions options;
+  options.initial_upper_bound = cold.makespan * 1.5;
+  const auto warm = solve_optimal(p, options);
+  EXPECT_TRUE(warm.proven_optimal);
+  EXPECT_NEAR(warm.makespan, cold.makespan, 1e-9);
+  EXPECT_LE(warm.nodes_explored, cold.nodes_explored);
+}
+
+TEST(Optimal, MinMinGapIsRealOnAdversarialInstance) {
+  // The classic instance where Min-Min is suboptimal (one long task).
+  const EtcMatrix m =
+      EtcMatrix::from_rows({{8, 9}, {2, 3}, {2, 3}, {2, 3}});
+  const Problem p = Problem::full(m);
+  const auto optimal = solve_optimal(p);
+  const auto minmin = hcsched::heuristics::make_heuristic("Min-Min");
+  TieBreaker ties;
+  const double mm = minmin->map(p, ties).makespan();
+  EXPECT_TRUE(optimal.proven_optimal);
+  // Optimal: t0 alone on m0 (8), fillers on m1 (9) -> makespan 9;
+  // Min-Min reaches 12 (hand-traced in test_search_heuristics.cpp).
+  EXPECT_DOUBLE_EQ(optimal.makespan, 9.0);
+  EXPECT_DOUBLE_EQ(mm, 12.0);
+  EXPECT_GT(mm, optimal.makespan);
+}
+
+}  // namespace

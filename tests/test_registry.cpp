@@ -1,0 +1,75 @@
+#include "heuristics/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hcsched::heuristics::all_heuristics;
+using hcsched::heuristics::known_heuristic_names;
+using hcsched::heuristics::make_heuristic;
+using hcsched::heuristics::paper_heuristics;
+
+TEST(Registry, ConstructsEveryKnownName) {
+  for (const std::string& name : known_heuristic_names()) {
+    const auto h = make_heuristic(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->name(), name);
+  }
+}
+
+TEST(Registry, MatchingIsForgiving) {
+  EXPECT_EQ(make_heuristic("min-min")->name(), "Min-Min");
+  EXPECT_EQ(make_heuristic("MINMIN")->name(), "Min-Min");
+  EXPECT_EQ(make_heuristic("min min")->name(), "Min-Min");
+  EXPECT_EQ(make_heuristic("k_percent_best")->name(), "KPB");
+  EXPECT_EQ(make_heuristic("switching algorithm")->name(), "SWA");
+  EXPECT_EQ(make_heuristic("genitor")->name(), "Genitor");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_heuristic("branch-and-cut"),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_heuristic("hereboy"), std::invalid_argument);
+  EXPECT_THROW((void)make_heuristic(""), std::invalid_argument);
+}
+
+TEST(Registry, PaperSetMatchesThePaper) {
+  const auto set = paper_heuristics();
+  ASSERT_EQ(set.size(), 7u);
+  EXPECT_EQ(set[0]->name(), "MET");
+  EXPECT_EQ(set[1]->name(), "MCT");
+  EXPECT_EQ(set[2]->name(), "Min-Min");
+  EXPECT_EQ(set[3]->name(), "Genitor");
+  EXPECT_EQ(set[4]->name(), "SWA");
+  EXPECT_EQ(set[5]->name(), "Sufferage");
+  EXPECT_EQ(set[6]->name(), "KPB");
+}
+
+TEST(Registry, AllSetAddsTheBaselines) {
+  const auto set = all_heuristics();
+  ASSERT_EQ(set.size(), 10u);
+  EXPECT_EQ(set[7]->name(), "OLB");
+  EXPECT_EQ(set[8]->name(), "Max-Min");
+  EXPECT_EQ(set[9]->name(), "Duplex");
+}
+
+TEST(Registry, ExtendedSetAddsSearchBaselines) {
+  const auto set = hcsched::heuristics::extended_heuristics();
+  ASSERT_EQ(set.size(), 15u);
+  EXPECT_EQ(set[10]->name(), "SA");
+  EXPECT_EQ(set[11]->name(), "GSA");
+  EXPECT_EQ(set[12]->name(), "Tabu");
+  EXPECT_EQ(set[13]->name(), "Segmented Min-Min");
+  EXPECT_EQ(set[14]->name(), "A*");
+}
+
+TEST(Registry, OnlySearchHeuristicsAreNondeterministicGivenTies) {
+  for (const auto& h : hcsched::heuristics::extended_heuristics()) {
+    const std::string name(h->name());
+    const bool stochastic =
+        name == "Genitor" || name == "SA" || name == "GSA" || name == "Tabu";
+    EXPECT_EQ(h->deterministic_given_ties(), !stochastic) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "sim/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "etc/cvb_generator.hpp"
+#include "heuristics/mct.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+using hcsched::sim::perturb;
+using hcsched::sim::PerturbationModel;
+using hcsched::sim::realized_completions;
+using hcsched::sim::realized_makespan;
+using hcsched::sim::robustness_radius;
+
+TEST(Robustness, ZeroNoiseIsIdentity) {
+  Rng rng(1);
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}});
+  const EtcMatrix actual = perturb(m, PerturbationModel{.noise = 0.0}, rng);
+  EXPECT_EQ(actual, m);
+}
+
+TEST(Robustness, PerturbationStaysPositiveAndNearMean) {
+  Rng rng(2);
+  EtcMatrix m(50, 10);
+  for (int t = 0; t < 50; ++t) {
+    for (int j = 0; j < 10; ++j) m.at(t, j) = 100.0;
+  }
+  const EtcMatrix actual =
+      perturb(m, PerturbationModel{.noise = 0.2, .floor = 0.05}, rng);
+  double sum = 0.0;
+  for (double v : actual.data()) {
+    EXPECT_GE(v, 5.0);  // floor * 100
+    sum += v;
+  }
+  const double mean = sum / 500.0;
+  EXPECT_NEAR(mean, 100.0, 4.0);  // unbiased up to the floor clamp
+}
+
+TEST(Robustness, RejectsBadModel) {
+  Rng rng(3);
+  const EtcMatrix m = EtcMatrix::from_rows({{1}});
+  EXPECT_THROW((void)perturb(m, PerturbationModel{.noise = -0.1}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)perturb(m, PerturbationModel{.noise = 0.1, .floor = 0.0}, rng),
+      std::invalid_argument);
+}
+
+TEST(Robustness, RealizedCompletionsUseActualTimes) {
+  const EtcMatrix estimated = EtcMatrix::from_rows({{2, 9}, {9, 3}});
+  Schedule s(Problem::full(estimated));
+  s.assign(0, 0);
+  s.assign(1, 1);
+  EtcMatrix actual = estimated;
+  actual.at(0, 0) = 4.0;  // ran twice as long as estimated
+  const auto realized = realized_completions(s, actual);
+  ASSERT_EQ(realized.size(), 2u);
+  EXPECT_DOUBLE_EQ(realized[0], 4.0);
+  EXPECT_DOUBLE_EQ(realized[1], 3.0);
+  EXPECT_DOUBLE_EQ(realized_makespan(s, actual), 4.0);
+}
+
+TEST(Robustness, RealizedCompletionsKeepInitialReady) {
+  const EtcMatrix estimated = EtcMatrix::from_rows({{2}});
+  const Problem p(estimated, {0}, {0}, {10.0});
+  Schedule s(p);
+  s.assign(0, 0);
+  const auto realized = realized_completions(s, estimated);
+  EXPECT_DOUBLE_EQ(realized[0], 12.0);
+}
+
+TEST(Robustness, ShapeMismatchThrows) {
+  const EtcMatrix estimated = EtcMatrix::from_rows({{2, 9}});
+  Schedule s(Problem::full(estimated));
+  s.assign(0, 0);
+  const EtcMatrix wrong = EtcMatrix::from_rows({{2}});
+  EXPECT_THROW((void)realized_completions(s, wrong), std::invalid_argument);
+}
+
+TEST(Robustness, RadiusMatchesHandComputation) {
+  // Mapping: m0 holds work 4, m1 holds work 2; tau = 6.
+  // r_m0 = (6 - 4) / 4 = 0.5; r_m1 = (6 - 2) / 2 = 2 -> radius 0.5.
+  const EtcMatrix m = EtcMatrix::from_rows({{4, 9}, {9, 2}});
+  Schedule s(Problem::full(m));
+  s.assign(0, 0);
+  s.assign(1, 1);
+  EXPECT_DOUBLE_EQ(robustness_radius(s, 6.0), 0.5);
+}
+
+TEST(Robustness, RadiusZeroWhenAlreadyPastTau) {
+  const EtcMatrix m = EtcMatrix::from_rows({{4, 9}});
+  Schedule s(Problem::full(m));
+  s.assign(0, 0);
+  EXPECT_DOUBLE_EQ(robustness_radius(s, 3.0), 0.0);
+}
+
+TEST(Robustness, RadiusInfiniteWithNoWork) {
+  const EtcMatrix m = EtcMatrix::from_rows({{4, 9}});
+  const Problem p(m, {}, {0, 1});
+  Schedule s(p);
+  EXPECT_EQ(robustness_radius(s, 100.0),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Robustness, RadiusVerifiedByDirectInflation) {
+  // Inflating one machine's queue by exactly the radius lands on tau.
+  Rng rng(9);
+  hcsched::etc::CvbParams params;
+  params.num_tasks = 12;
+  params.num_machines = 4;
+  const EtcMatrix estimated =
+      hcsched::etc::CvbEtcGenerator(params).generate(rng);
+  hcsched::heuristics::Mct mct;
+  TieBreaker ties;
+  const Schedule s = mct.map(Problem::full(estimated), ties);
+  const double tau = s.makespan() * 1.3;
+  const double radius = robustness_radius(s, tau);
+  ASSERT_GT(radius, 0.0);
+  // Find the critical machine and inflate only its queue entries.
+  for (int machine = 0; machine < 4; ++machine) {
+    const double work = s.completion_time(machine);
+    if (work <= 0.0) continue;
+    EtcMatrix inflated = estimated;
+    for (const auto& a : s.queue_of(machine)) {
+      inflated.at(a.task, a.machine) *= (1.0 + radius);
+    }
+    EXPECT_LE(realized_makespan(s, inflated), tau + 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/rng.hpp"
+
+namespace {
+
+using hcsched::sim::RunningStats;
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.14);
+  EXPECT_DOUBLE_EQ(s.max(), 3.14);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  hcsched::rng::Rng rng(1);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3.0 + 10.0;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats empty;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b = a;
+  b.merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  hcsched::rng::Rng rng(2);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+  // CI of the uniform mean over 10k samples: ~1.96 * 0.2887/100 = 0.0057.
+  EXPECT_NEAR(large.ci95_half_width(), 1.96 * std::sqrt(1.0 / 12.0) / 100.0,
+              0.001);
+}
+
+}  // namespace

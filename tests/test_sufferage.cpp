@@ -1,0 +1,160 @@
+#include "heuristics/sufferage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::heuristics::Sufferage;
+using hcsched::heuristics::SufferageStep;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+TEST(Sufferage, HighSufferageTaskWinsContestedMachine) {
+  // Both tasks want m0. t0 suffers 1 if denied (4 - 3); t1 suffers 7
+  // (9 - 2). t1 must get m0; t0 is pushed to the next pass.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {3, 4},
+      {2, 9},
+  });
+  Sufferage sufferage;
+  TieBreaker ties;
+  std::vector<SufferageStep> trace;
+  const Schedule s = sufferage.map_traced(Problem::full(m), ties, &trace);
+  EXPECT_EQ(*s.machine_of(1), 0);
+  // t0 lands on m1 in pass 2 (m0 now ready at 2: CT 5 vs 4 on m1).
+  EXPECT_EQ(*s.machine_of(0), 1);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].pass, 1u);
+  EXPECT_EQ(trace[0].task, 1);
+  EXPECT_DOUBLE_EQ(trace[0].sufferage, 7.0);
+  EXPECT_EQ(trace[1].pass, 2u);
+  EXPECT_EQ(trace[1].task, 0);
+}
+
+TEST(Sufferage, TasksWantingDifferentMachinesCommitInOnePass) {
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {1, 9},
+      {9, 1},
+  });
+  Sufferage sufferage;
+  TieBreaker ties;
+  std::vector<SufferageStep> trace;
+  const Schedule s = sufferage.map_traced(Problem::full(m), ties, &trace);
+  EXPECT_EQ(*s.machine_of(0), 0);
+  EXPECT_EQ(*s.machine_of(1), 1);
+  for (const auto& step : trace) EXPECT_EQ(step.pass, 1u);
+}
+
+TEST(Sufferage, SufferageTieKeepsIncumbent) {
+  // Equal sufferage values: Figure 17's strict "<" keeps the first task.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {2, 5},
+      {2, 5},
+  });
+  Sufferage sufferage;
+  TieBreaker ties;
+  std::vector<SufferageStep> trace;
+  const Schedule s = sufferage.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].task, 0);  // incumbent kept in pass 1
+  EXPECT_EQ(trace[0].pass, 1u);
+  EXPECT_EQ(trace[1].task, 1);
+  EXPECT_EQ(trace[1].pass, 2u);
+  EXPECT_TRUE(hcsched::sched::is_valid(s));
+}
+
+TEST(Sufferage, SingleMachineSufferageIsZero) {
+  const EtcMatrix m = EtcMatrix::from_rows({{3}, {4}, {5}});
+  Sufferage sufferage;
+  TieBreaker ties;
+  std::vector<SufferageStep> trace;
+  const Schedule s = sufferage.map_traced(Problem::full(m), ties, &trace);
+  EXPECT_DOUBLE_EQ(s.makespan(), 12.0);
+  for (const auto& step : trace) EXPECT_DOUBLE_EQ(step.sufferage, 0.0);
+  // One task commits per pass (the machine is claimed once per pass).
+  EXPECT_EQ(trace.back().pass, 3u);
+}
+
+TEST(Sufferage, EvictedTaskReturnsInOriginalOrder) {
+  // Three tasks contending for m0 with increasing sufferage; each pass the
+  // strongest remaining claim wins, evicted tasks retry in task order.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {1, 3},   // sufferage 2
+      {1, 5},   // sufferage 4
+      {1, 9},   // sufferage 8 -> wins pass 1
+  });
+  Sufferage sufferage;
+  TieBreaker ties;
+  std::vector<SufferageStep> trace;
+  sufferage.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].task, 2);
+  EXPECT_EQ(trace[0].pass, 1u);
+  // Pass 2: t0 and t1 re-evaluated in original order; ready(m0)=1 so CTs
+  // are m0: 2, m1: 3/5 -> both still prefer m0; t1's sufferage (3) beats
+  // t0's (1).
+  EXPECT_EQ(trace[1].task, 1);
+  EXPECT_EQ(trace[1].pass, 2u);
+  EXPECT_EQ(trace[2].task, 0);
+}
+
+TEST(Sufferage, ReadyTimesOnlyUpdateBetweenPasses) {
+  // Within one pass two tasks can claim two different machines at their
+  // *pass-start* completion times, even when the first commit would have
+  // changed the second task's preference.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {2, 3},
+      {4, 5},
+  });
+  // Pass 1: t0 wants m0 (suff 1). t1 wants m0 too (CT 4 vs 5, suff 1); t0
+  // holds m0, tie keeps incumbent, t1 retries. Pass 2: ready (2, 0), t1's
+  // CTs are 6 and 5 -> m1.
+  Sufferage sufferage;
+  TieBreaker ties;
+  std::vector<SufferageStep> trace;
+  const Schedule s = sufferage.map_traced(Problem::full(m), ties, &trace);
+  EXPECT_EQ(*s.machine_of(0), 0);
+  EXPECT_EQ(*s.machine_of(1), 1);
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+}
+
+TEST(Sufferage, RequeueOrderKnob) {
+  using hcsched::heuristics::SufferageRequeue;
+  const Sufferage original;  // default
+  EXPECT_EQ(original.requeue(), SufferageRequeue::kOriginalOrder);
+  const Sufferage encounter(SufferageRequeue::kEncounterOrder);
+  EXPECT_EQ(encounter.requeue(), SufferageRequeue::kEncounterOrder);
+  // Both variants produce complete, valid schedules on a contested
+  // instance; they may differ in mapping but not in validity.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {1, 3}, {1, 5}, {1, 9}, {2, 2}, {4, 1},
+  });
+  TieBreaker t1;
+  TieBreaker t2;
+  const Schedule a = original.map(Problem::full(m), t1);
+  const Schedule b = encounter.map(Problem::full(m), t2);
+  EXPECT_TRUE(a.complete());
+  EXPECT_TRUE(b.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(a));
+  EXPECT_TRUE(hcsched::sched::is_valid(b));
+}
+
+TEST(Sufferage, ValidOnWideInstances) {
+  EtcMatrix m(30, 6);
+  for (int t = 0; t < 30; ++t) {
+    for (int j = 0; j < 6; ++j) {
+      m.at(t, j) = 1.0 + ((t * 31 + j * 17) % 23);
+    }
+  }
+  Sufferage sufferage;
+  TieBreaker ties;
+  const Schedule s = sufferage.map(Problem::full(m), ties);
+  EXPECT_TRUE(s.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(s));
+}
+
+}  // namespace

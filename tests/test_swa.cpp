@@ -1,0 +1,135 @@
+#include "heuristics/swa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_examples.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::heuristics::Swa;
+using hcsched::heuristics::SwaMode;
+using hcsched::heuristics::SwaStep;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+TEST(Swa, RejectsBadThresholds) {
+  EXPECT_THROW(Swa(0.6, 0.5), std::invalid_argument);   // low > high
+  EXPECT_THROW(Swa(-0.1, 0.5), std::invalid_argument);
+  EXPECT_THROW(Swa(0.2, 1.5), std::invalid_argument);
+}
+
+TEST(Swa, FirstTaskAlwaysUsesMct) {
+  const EtcMatrix m = EtcMatrix::from_rows({{9, 1}});
+  Swa swa;
+  TieBreaker ties;
+  std::vector<SwaStep> trace;
+  swa.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].mode, SwaMode::kMct);
+  EXPECT_FALSE(trace[0].balance_index.has_value());  // the paper's "x"
+  EXPECT_EQ(trace[0].machine, 1);
+}
+
+TEST(Swa, SwitchesToMetWhenBalanced) {
+  // Two machines; after two MCT mappings the load is perfectly balanced
+  // (BI = 1 > high), so the third task must be mapped by MET.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {2, 9},
+      {9, 2},
+      {5, 9},  // MET machine is m0 even though m1 is equally ready
+  });
+  Swa swa(0.35, 0.49);
+  TieBreaker ties;
+  std::vector<SwaStep> trace;
+  swa.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[1].mode, SwaMode::kMct);
+  ASSERT_TRUE(trace[2].balance_index.has_value());
+  EXPECT_DOUBLE_EQ(*trace[2].balance_index, 1.0);
+  EXPECT_EQ(trace[2].mode, SwaMode::kMet);
+  EXPECT_EQ(trace[2].machine, 0);
+}
+
+TEST(Swa, SwitchesBackToMctWhenImbalanced) {
+  // Force MET mode, then let the imbalance grow past the low threshold.
+  const EtcMatrix m = EtcMatrix::from_rows({
+      {2, 9},
+      {9, 2},   // after this: ready (2, 2), BI = 1 -> MET
+      {1, 9},   // MET -> m0; ready (3, 2)
+      {10, 9},  // BI after = 2/3 > high?? no: 2/3 > 0.49 -> stays MET...
+  });
+  // Use tight thresholds so the trajectory crosses them.
+  Swa swa(0.75, 0.8);
+  TieBreaker ties;
+  std::vector<SwaStep> trace;
+  swa.map_traced(Problem::full(m), ties, &trace);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[2].mode, SwaMode::kMet);  // BI = 1 > 0.8
+  // After t2: ready (3, 2), BI = 2/3 < 0.75 -> back to MCT for t3.
+  ASSERT_TRUE(trace[3].balance_index.has_value());
+  EXPECT_NEAR(*trace[3].balance_index, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(trace[3].mode, SwaMode::kMct);
+  EXPECT_EQ(trace[3].machine, 1);  // MCT: CT 11 on m1 beats 13 on m0
+}
+
+TEST(Swa, PaperOriginalMappingTraceMatchesTable10) {
+  const auto example = hcsched::core::swa_example();
+  Swa swa;  // defaults: low 0.35, high 0.49 (DESIGN.md §4)
+  TieBreaker ties;
+  std::vector<SwaStep> trace;
+  const Schedule s =
+      swa.map_traced(Problem::full(*example.matrix), ties, &trace);
+  ASSERT_EQ(trace.size(), 5u);
+  // Paper Table 10 BI column: x, 0, 0, 1/3, 2/3.
+  EXPECT_FALSE(trace[0].balance_index.has_value());
+  EXPECT_DOUBLE_EQ(*trace[1].balance_index, 0.0);
+  EXPECT_DOUBLE_EQ(*trace[2].balance_index, 0.0);
+  EXPECT_NEAR(*trace[3].balance_index, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(*trace[4].balance_index, 2.0 / 3.0, 1e-12);
+  // Heuristic column: MCT x4 then MET.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(trace[static_cast<size_t>(i)].mode, SwaMode::kMct);
+  EXPECT_EQ(trace[4].mode, SwaMode::kMet);
+  // Completion times (6, 5, 5).
+  EXPECT_DOUBLE_EQ(s.completion_time(0), 6.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(1), 5.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(2), 5.0);
+}
+
+TEST(Swa, PaperIterativeMappingTraceMatchesTable11) {
+  const auto example = hcsched::core::swa_example();
+  // First iterative problem: makespan machine m0 and its task t0 removed.
+  const Problem p(*example.matrix, {1, 2, 3, 4}, {1, 2});
+  Swa swa;
+  TieBreaker ties;
+  std::vector<SwaStep> trace;
+  const Schedule s = swa.map_traced(p, ties, &trace);
+  ASSERT_EQ(trace.size(), 4u);
+  // Paper Table 11 BI column: x, 0, 1/2, 4/13.
+  EXPECT_FALSE(trace[0].balance_index.has_value());
+  EXPECT_DOUBLE_EQ(*trace[1].balance_index, 0.0);
+  EXPECT_DOUBLE_EQ(*trace[2].balance_index, 0.5);
+  EXPECT_NEAR(*trace[3].balance_index, 4.0 / 13.0, 1e-12);
+  // Heuristic column: MCT, MCT, MET, MCT.
+  EXPECT_EQ(trace[0].mode, SwaMode::kMct);
+  EXPECT_EQ(trace[1].mode, SwaMode::kMct);
+  EXPECT_EQ(trace[2].mode, SwaMode::kMet);
+  EXPECT_EQ(trace[3].mode, SwaMode::kMct);
+  // Completion times (4, 6.5): the paper's makespan increase 6 -> 6.5.
+  EXPECT_DOUBLE_EQ(s.completion_time(1), 4.0);
+  EXPECT_DOUBLE_EQ(s.completion_time(2), 6.5);
+}
+
+TEST(Swa, DegenerateThresholdsPinTheMode) {
+  // high = 1.0 can never be exceeded: SWA stays MCT forever.
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 2}, {2, 2}, {2, 2}});
+  Swa always_mct(0.0, 1.0);
+  TieBreaker ties;
+  std::vector<SwaStep> trace;
+  always_mct.map_traced(Problem::full(m), ties, &trace);
+  for (const SwaStep& step : trace) EXPECT_EQ(step.mode, SwaMode::kMct);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include "rng/tie_break.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace {
+
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::rng::TiePolicy;
+
+TEST(TieBreaker, DeterministicPicksFirstOfTied) {
+  TieBreaker tb;
+  const std::vector<double> scores = {3.0, 1.0, 1.0, 2.0};
+  EXPECT_EQ(tb.choose_min(scores), 1u);
+  EXPECT_EQ(tb.tie_events(), 1u);
+}
+
+TEST(TieBreaker, NoTieNoEvent) {
+  TieBreaker tb;
+  const std::vector<double> scores = {3.0, 1.0, 2.0};
+  EXPECT_EQ(tb.choose_min(scores), 1u);
+  EXPECT_EQ(tb.tie_events(), 0u);
+  EXPECT_EQ(tb.decisions(), 1u);
+}
+
+TEST(TieBreaker, ChooseMaxPicksLargest) {
+  TieBreaker tb;
+  const std::vector<double> scores = {3.0, 5.0, 5.0, 2.0};
+  EXPECT_EQ(tb.choose_max(scores), 1u);
+  EXPECT_EQ(tb.tie_events(), 1u);
+}
+
+TEST(TieBreaker, EmptyInputReturnsNpos) {
+  TieBreaker tb;
+  EXPECT_EQ(tb.choose_min({}), TieBreaker::npos);
+  EXPECT_EQ(tb.choose_max({}), TieBreaker::npos);
+  EXPECT_EQ(tb.choose_among({}), TieBreaker::npos);
+}
+
+TEST(TieBreaker, EpsilonGroupsNearTies) {
+  TieBreaker coarse(std::vector<std::size_t>{}, /*epsilon=*/0.1);
+  const std::vector<double> scores = {1.05, 1.0, 2.0};
+  // 1.05 ties 1.0 within 0.1; scripted-exhausted policy picks first tied.
+  EXPECT_EQ(coarse.choose_min(scores), 0u);
+  EXPECT_EQ(coarse.tie_events(), 1u);
+
+  TieBreaker fine;  // epsilon 1e-9
+  EXPECT_EQ(fine.choose_min(scores), 1u);
+  EXPECT_EQ(fine.tie_events(), 0u);
+}
+
+TEST(TieBreaker, TiedPredicate) {
+  TieBreaker tb;
+  EXPECT_TRUE(tb.tied(1.0, 1.0));
+  EXPECT_TRUE(tb.tied(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(tb.tied(1.0, 1.001));
+}
+
+TEST(TieBreaker, RandomCoversAllTiedCandidates) {
+  Rng rng(77);
+  TieBreaker tb(rng);
+  const std::vector<double> scores = {1.0, 1.0, 1.0, 9.0};
+  std::array<int, 4> counts{};
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[tb.choose_min(scores)];
+  }
+  EXPECT_EQ(counts[3], 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(i)] / 3000.0, 1.0 / 3.0,
+                0.05);
+  }
+}
+
+TEST(TieBreaker, RandomNeverPicksNonMinimal) {
+  Rng rng(78);
+  TieBreaker tb(rng);
+  const std::vector<double> scores = {2.0, 1.0, 1.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(tb.choose_min(scores), 0u);
+  }
+}
+
+TEST(TieBreaker, ScriptedReplaysChoices) {
+  TieBreaker tb(std::vector<std::size_t>{1, 0, 2});
+  const std::vector<double> tie3 = {1.0, 1.0, 1.0};
+  EXPECT_EQ(tb.choose_min(tie3), 1u);
+  EXPECT_EQ(tb.choose_min(tie3), 0u);
+  EXPECT_EQ(tb.choose_min(tie3), 2u);
+  // Script exhausted -> deterministic (first tied).
+  EXPECT_EQ(tb.choose_min(tie3), 0u);
+}
+
+TEST(TieBreaker, ScriptedClampsOutOfRangeEntries) {
+  TieBreaker tb(std::vector<std::size_t>{9});
+  const std::vector<double> tie2 = {1.0, 1.0};
+  EXPECT_EQ(tb.choose_min(tie2), 1u);  // clamped to last tied candidate
+}
+
+TEST(TieBreaker, ScriptedEntriesOnlyConsumedOnRealTies) {
+  TieBreaker tb(std::vector<std::size_t>{1});
+  const std::vector<double> no_tie = {2.0, 1.0, 3.0};
+  EXPECT_EQ(tb.choose_min(no_tie), 1u);  // no tie: script untouched
+  const std::vector<double> tie2 = {1.0, 1.0};
+  EXPECT_EQ(tb.choose_min(tie2), 1u);  // consumes the script entry
+}
+
+TEST(TieBreaker, ChooseAmongRespectsPolicy) {
+  TieBreaker det;
+  const std::vector<std::size_t> tied = {4, 7, 9};
+  EXPECT_EQ(det.choose_among(tied), 4u);
+
+  TieBreaker scripted(std::vector<std::size_t>{2});
+  EXPECT_EQ(scripted.choose_among(tied), 9u);
+}
+
+TEST(TieBreaker, PolicyAccessors) {
+  TieBreaker det;
+  EXPECT_EQ(det.policy(), TiePolicy::kDeterministic);
+  Rng rng(1);
+  TieBreaker rnd(rng, 0.5);
+  EXPECT_EQ(rnd.policy(), TiePolicy::kRandom);
+  EXPECT_DOUBLE_EQ(rnd.epsilon(), 0.5);
+  TieBreaker scripted(std::vector<std::size_t>{1});
+  EXPECT_EQ(scripted.policy(), TiePolicy::kScripted);
+}
+
+}  // namespace

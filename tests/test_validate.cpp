@@ -1,0 +1,65 @@
+#include "sched/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/mct.hpp"
+
+namespace {
+
+using hcsched::etc::EtcMatrix;
+using hcsched::sched::is_valid;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+using hcsched::sched::validate;
+
+TEST(Validate, CompleteScheduleIsValid) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}});
+  Schedule s(Problem::full(m));
+  s.assign(0, 0);
+  s.assign(1, 1);
+  EXPECT_TRUE(is_valid(s));
+  EXPECT_TRUE(validate(s).empty());
+}
+
+TEST(Validate, UnassignedTaskReported) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}, {3, 1}});
+  Schedule s(Problem::full(m));
+  s.assign(0, 0);
+  const auto errors = validate(s);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("task 1 unassigned"), std::string::npos);
+}
+
+TEST(Validate, EmptyProblemIsValid) {
+  const EtcMatrix m(0, 2);
+  Schedule s(Problem::full(m));
+  EXPECT_TRUE(is_valid(s));
+}
+
+TEST(Validate, InitialReadyTimesRespected) {
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 5}});
+  const Problem p(m, {0}, {0, 1}, {7.0, 3.0});
+  Schedule s(p);
+  s.assign(0, 0);
+  EXPECT_TRUE(is_valid(s));
+  EXPECT_DOUBLE_EQ(s.completion_time(0), 9.0);
+}
+
+TEST(Validate, HeuristicOutputsAreAlwaysValid) {
+  // A moderately sized instance mapped by a real heuristic must pass every
+  // structural invariant.
+  EtcMatrix m(40, 7);
+  for (int t = 0; t < 40; ++t) {
+    for (int j = 0; j < 7; ++j) {
+      m.at(t, j) = 1.0 + (t * 7 + j) % 13;
+    }
+  }
+  hcsched::heuristics::Mct mct;
+  hcsched::rng::TieBreaker ties;
+  const Schedule s = mct.map(Problem::full(m), ties);
+  EXPECT_TRUE(s.complete());
+  const auto errors = validate(s);
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front());
+}
+
+}  // namespace

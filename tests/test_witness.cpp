@@ -1,0 +1,170 @@
+#include "core/witness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "heuristics/registry.hpp"
+#include "sched/validate.hpp"
+
+namespace {
+
+using hcsched::core::find_makespan_increase_witness;
+using hcsched::core::makespan_increase_rate;
+using hcsched::core::sample_matrix;
+using hcsched::core::WitnessSpec;
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TiePolicy;
+
+TEST(WitnessSearch, SampleMatrixRespectsSpec) {
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 4;
+  spec.min_etc = 2;
+  spec.max_etc = 6;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const EtcMatrix m = sample_matrix(spec, rng);
+    EXPECT_EQ(m.num_tasks(), 5u);
+    EXPECT_EQ(m.num_machines(), 4u);
+    EXPECT_GE(m.min_value(), 2.0);
+    EXPECT_LE(m.max_value(), 6.0);
+    // Integer spec: every entry is whole.
+    for (double v : m.data()) {
+      EXPECT_DOUBLE_EQ(v, std::round(v));
+    }
+  }
+}
+
+TEST(WitnessSearch, HalfIntegerSpecProducesHalves) {
+  WitnessSpec spec;
+  spec.num_tasks = 20;
+  spec.num_machines = 4;
+  spec.half_integers = true;
+  Rng rng(2);
+  bool saw_half = false;
+  for (int i = 0; i < 20 && !saw_half; ++i) {
+    const EtcMatrix m = sample_matrix(spec, rng);
+    for (double v : m.data()) {
+      if (std::fabs(v - std::floor(v) - 0.5) < 1e-12) saw_half = true;
+    }
+  }
+  EXPECT_TRUE(saw_half);
+}
+
+TEST(WitnessSearch, FindsDeterministicWitnessForKpb) {
+  const auto kpb = hcsched::heuristics::make_heuristic("KPB");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  Rng rng(3);
+  const auto w = find_makespan_increase_witness(*kpb, spec, rng, 200000);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_GT(w->final_makespan, w->original_makespan);
+  EXPECT_GE(w->trials_used, 1u);
+  // All schedules in the witness run are structurally valid.
+  for (const auto& it : w->result.iterations) {
+    EXPECT_TRUE(hcsched::sched::is_valid(it.schedule));
+  }
+}
+
+TEST(WitnessSearch, FindsRandomTieWitnessForMinMin) {
+  const auto minmin = hcsched::heuristics::make_heuristic("Min-Min");
+  WitnessSpec spec;
+  spec.num_tasks = 4;
+  spec.num_machines = 3;
+  spec.max_etc = 5;  // small alphabet -> frequent ties
+  spec.policy = TiePolicy::kRandom;
+  Rng rng(4);
+  const auto w = find_makespan_increase_witness(*minmin, spec, rng, 200000);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_GT(w->final_makespan, w->original_makespan);
+}
+
+TEST(WitnessSearch, NeverFindsDeterministicWitnessForMct) {
+  // The paper's theorem says none exists; the search must come up empty.
+  const auto mct = hcsched::heuristics::make_heuristic("MCT");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  spec.max_etc = 4;
+  Rng rng(5);
+  const auto w = find_makespan_increase_witness(*mct, spec, rng, 5000);
+  EXPECT_FALSE(w.has_value());
+}
+
+TEST(WitnessSearch, IncreaseRateWithinBoundsAndConsistent) {
+  const auto kpb = hcsched::heuristics::make_heuristic("KPB");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  Rng rng(6);
+  const double rate = makespan_increase_rate(*kpb, spec, rng, 2000);
+  EXPECT_GE(rate, 0.0);
+  EXPECT_LE(rate, 1.0);
+  EXPECT_GT(rate, 0.0);  // KPB witnesses are not rare at this size
+}
+
+TEST(WitnessSearch, IncreaseRateZeroForTheoremHeuristics) {
+  const auto met = hcsched::heuristics::make_heuristic("MET");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  spec.max_etc = 4;
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(makespan_increase_rate(*met, spec, rng, 2000), 0.0);
+}
+
+TEST(WitnessSearch, ZeroTrialsRateIsZero) {
+  const auto met = hcsched::heuristics::make_heuristic("MET");
+  WitnessSpec spec;
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(makespan_increase_rate(*met, spec, rng, 0), 0.0);
+}
+
+TEST(WitnessSearch, ParallelSearchIsThreadCountInvariant) {
+  const auto kpb = hcsched::heuristics::make_heuristic("KPB");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  hcsched::sim::ThreadPool one(1);
+  hcsched::sim::ThreadPool four(4);
+  const auto a = hcsched::core::find_makespan_increase_witness_parallel(
+      *kpb, spec, 77, one, 50000);
+  const auto b = hcsched::core::find_makespan_increase_witness_parallel(
+      *kpb, spec, 77, four, 50000);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a->matrix, *b->matrix);
+  EXPECT_EQ(a->trials_used, b->trials_used);
+  EXPECT_DOUBLE_EQ(a->final_makespan, b->final_makespan);
+}
+
+TEST(WitnessSearch, ParallelSearchComesUpEmptyForTheoremHeuristic) {
+  const auto mct = hcsched::heuristics::make_heuristic("MCT");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  spec.max_etc = 4;
+  hcsched::sim::ThreadPool pool(2);
+  const auto w = hcsched::core::find_makespan_increase_witness_parallel(
+      *mct, spec, 3, pool, 4000);
+  EXPECT_FALSE(w.has_value());
+}
+
+TEST(WitnessSearch, WitnessMatrixOutlivesMoves) {
+  const auto kpb = hcsched::heuristics::make_heuristic("KPB");
+  WitnessSpec spec;
+  spec.num_tasks = 5;
+  spec.num_machines = 3;
+  Rng rng(9);
+  auto w = find_makespan_increase_witness(*kpb, spec, rng, 200000);
+  ASSERT_TRUE(w.has_value());
+  // Move the witness around; the schedules must still resolve their matrix.
+  auto moved = std::move(*w);
+  const double span = moved.result.original().schedule.makespan();
+  EXPECT_DOUBLE_EQ(span, moved.original_makespan);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "rng/xoshiro256ss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+
+namespace {
+
+using hcsched::rng::Xoshiro256ss;
+
+// Independent transcription of Blackman & Vigna's xoshiro256starstar.c,
+// seeded the same way (SplitMix64 expansion), used as the oracle.
+struct Reference {
+  std::array<std::uint64_t, 4> s{};
+
+  explicit Reference(std::uint64_t seed) {
+    for (auto& word : s) {
+      std::uint64_t z = (seed += 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+  }
+};
+
+TEST(Xoshiro256ss, MatchesReferenceAlgorithm) {
+  Xoshiro256ss engine(987654321);
+  Reference ref(987654321);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(engine.next(), ref.next()) << "at step " << i;
+  }
+}
+
+TEST(Xoshiro256ss, DeterministicFromSeed) {
+  Xoshiro256ss a(5);
+  Xoshiro256ss b(5);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256ss, JumpChangesStateAndDecorrelates) {
+  Xoshiro256ss a(99);
+  Xoshiro256ss b(99);
+  b.jump();
+  EXPECT_NE(a.state(), b.state());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Xoshiro256ss, JumpIsDeterministic) {
+  Xoshiro256ss a(1);
+  Xoshiro256ss b(1);
+  a.jump();
+  b.jump();
+  EXPECT_EQ(a.state(), b.state());
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256ss, BitsLookUniform) {
+  // Each of the 64 bit positions should be set roughly half the time.
+  Xoshiro256ss engine(2024);
+  constexpr int kSamples = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t v = engine.next();
+    for (int bit = 0; bit < 64; ++bit) {
+      if (v & (1ULL << bit)) ++ones[static_cast<std::size_t>(bit)];
+    }
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    const double p = static_cast<double>(ones[static_cast<std::size_t>(bit)]) /
+                     kSamples;
+    EXPECT_NEAR(p, 0.5, 0.02) << "bit " << bit;
+  }
+}
+
+TEST(Xoshiro256ss, NoImmediateRepeats) {
+  Xoshiro256ss engine(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(engine.next()).second);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,348 @@
+// hcsched_cli — command-line front end to the library.
+//
+//   hcsched_cli list
+//   hcsched_cli generate --tasks N --machines M [--method cvb|range]
+//                        [--consistency inc|semi|cons] [--v-task X]
+//                        [--v-machine X] [--seed S] [--out FILE]
+//   hcsched_cli map      --etc FILE --heuristic NAME [--ties det|random]
+//                        [--seed S]
+//   hcsched_cli iterate  --etc FILE --heuristic NAME [--ties det|random]
+//                        [--seed S] [--no-seeding]
+//   hcsched_cli study    [--trials N] [--tasks N] [--machines M]
+//                        [--ties det|random] [--seed S]
+//   hcsched_cli witness  --heuristic NAME [--tasks N] [--machines M]
+//                        [--ties det|random] [--max-trials N] [--seed S]
+//   hcsched_cli optimal  --etc FILE [--node-limit N]
+//   hcsched_cli online   --etc FILE [--policy mct|met|olb|kpb|swa]
+//                        [--count N] [--mean-gap X] [--seed S]
+//
+// Exit status: 0 on success, 1 on bad usage or (witness) not found.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/iterative.hpp"
+#include "core/optimal.hpp"
+#include "core/witness.hpp"
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "etc/etc_io.hpp"
+#include "etc/range_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "report/gantt.hpp"
+#include "report/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/online.hpp"
+
+namespace {
+
+using namespace hcsched;
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        error_ = "unexpected argument '" + key + "'";
+        return;
+      }
+      key = key.substr(2);
+      if (key == "no-seeding") {  // boolean flag
+        values_[key] = "true";
+        continue;
+      }
+      if (i + 1 >= argc) {
+        error_ = "missing value for --" + key;
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  const std::string& error() const noexcept { return error_; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string get_or(const std::string& key, std::string fallback) const {
+    return get(key).value_or(std::move(fallback));
+  }
+  long long get_ll(const std::string& key, long long fallback) const {
+    const auto v = get(key);
+    return v ? std::stoll(*v) : fallback;
+  }
+  double get_d(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_{};
+  std::string error_{};
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hcsched_cli "
+      "<list|generate|map|iterate|study|witness|optimal|online> "
+      "[--flags]\n"
+      "see the header of tools/hcsched_cli.cpp for the full flag list\n");
+  return 1;
+}
+
+etc::EtcMatrix load_etc(const Args& args) {
+  const auto path = args.get("etc");
+  if (!path) throw std::invalid_argument("--etc FILE is required");
+  std::ifstream in(*path);
+  if (!in) throw std::invalid_argument("cannot open '" + *path + "'");
+  return etc::read_csv(in);
+}
+
+/// Builds the tie breaker requested by --ties/--seed. The Rng must outlive
+/// the breaker, so the caller owns it.
+rng::TieBreaker make_ties(const Args& args, rng::Rng& rng) {
+  if (args.get_or("ties", "det") == "random") return rng::TieBreaker(rng);
+  return rng::TieBreaker();
+}
+
+int cmd_list() {
+  for (const auto& name : heuristics::known_heuristic_names()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const auto tasks = static_cast<std::size_t>(args.get_ll("tasks", 16));
+  const auto machines = static_cast<std::size_t>(args.get_ll("machines", 4));
+  rng::Rng rng(static_cast<std::uint64_t>(args.get_ll("seed", 1)));
+
+  etc::EtcMatrix matrix;
+  if (args.get_or("method", "cvb") == "range") {
+    etc::RangeParams params;
+    params.num_tasks = tasks;
+    params.num_machines = machines;
+    matrix = etc::RangeEtcGenerator(params).generate(rng);
+  } else {
+    etc::CvbParams params;
+    params.num_tasks = tasks;
+    params.num_machines = machines;
+    params.v_task = args.get_d("v-task", 0.6);
+    params.v_machine = args.get_d("v-machine", 0.6);
+    matrix = etc::CvbEtcGenerator(params).generate(rng);
+  }
+  const std::string consistency = args.get_or("consistency", "inc");
+  if (consistency == "cons") {
+    matrix = etc::shape_consistency(matrix, etc::Consistency::kConsistent);
+  } else if (consistency == "semi") {
+    matrix =
+        etc::shape_consistency(matrix, etc::Consistency::kSemiConsistent);
+  }
+
+  const auto out = args.get("out");
+  if (out) {
+    std::ofstream file(*out);
+    if (!file) throw std::invalid_argument("cannot write '" + *out + "'");
+    etc::write_csv(file, matrix);
+    std::printf("wrote %zu x %zu ETC matrix to %s\n", matrix.num_tasks(),
+                matrix.num_machines(), out->c_str());
+  } else {
+    etc::write_csv(std::cout, matrix);
+  }
+  return 0;
+}
+
+int cmd_map(const Args& args) {
+  const etc::EtcMatrix matrix = load_etc(args);
+  const auto name = args.get("heuristic");
+  if (!name) throw std::invalid_argument("--heuristic NAME is required");
+  const auto heuristic = heuristics::make_heuristic(*name);
+  rng::Rng rng(static_cast<std::uint64_t>(args.get_ll("seed", 1)));
+  rng::TieBreaker ties = make_ties(args, rng);
+
+  const sched::Problem problem = sched::Problem::full(matrix);
+  const sched::Schedule schedule = heuristic->map(problem, ties);
+  std::printf("%s mapping, makespan %s (machine m%d):\n%s",
+              std::string(heuristic->name()).c_str(),
+              report::TextTable::num(schedule.makespan(), 4).c_str(),
+              schedule.makespan_machine(),
+              report::render_gantt(schedule).c_str());
+  return 0;
+}
+
+int cmd_iterate(const Args& args) {
+  const etc::EtcMatrix matrix = load_etc(args);
+  const auto name = args.get("heuristic");
+  if (!name) throw std::invalid_argument("--heuristic NAME is required");
+  const auto heuristic = heuristics::make_heuristic(*name);
+  rng::Rng rng(static_cast<std::uint64_t>(args.get_ll("seed", 1)));
+  rng::TieBreaker ties = make_ties(args, rng);
+
+  core::IterativeOptions options;
+  options.use_seeding = !args.get("no-seeding").has_value();
+  const auto result = core::IterativeMinimizer{options}.run(
+      *heuristic, sched::Problem::full(matrix), ties);
+
+  for (const auto& it : result.iterations) {
+    std::printf("-- iteration %zu (%zu tasks, %zu machines), makespan %s on "
+                "m%d --\n%s",
+                it.index, it.problem().num_tasks(),
+                it.problem().num_machines(),
+                report::TextTable::num(it.makespan, 4).c_str(),
+                it.makespan_machine,
+                report::render_gantt(it.schedule).c_str());
+  }
+  report::TextTable table({"machine", "original CT", "final CT"});
+  const auto before = result.original_finishing_times();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    std::string machine_label(1, 'm');
+    machine_label += std::to_string(result.final_finishing_times[i].first);
+    table.add_row({std::move(machine_label),
+                   report::TextTable::num(before[i], 4),
+                   report::TextTable::num(
+                       result.final_finishing_times[i].second, 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("effective makespan %s -> %s%s\n",
+              report::TextTable::num(result.original().makespan, 4).c_str(),
+              report::TextTable::num(result.final_makespan(), 4).c_str(),
+              result.makespan_increased() ? " (INCREASED)" : "");
+  return 0;
+}
+
+int cmd_study(const Args& args) {
+  sim::StudyParams params;
+  params.heuristics = {"MET",       "MCT", "Min-Min", "Genitor", "SWA",
+                       "Sufferage", "KPB"};
+  params.trials = static_cast<std::size_t>(args.get_ll("trials", 25));
+  params.cvb.num_tasks = static_cast<std::size_t>(args.get_ll("tasks", 24));
+  params.cvb.num_machines =
+      static_cast<std::size_t>(args.get_ll("machines", 6));
+  params.seed = static_cast<std::uint64_t>(args.get_ll("seed", 7));
+  params.tie_policy = args.get_or("ties", "det") == "random"
+                          ? rng::TiePolicy::kRandom
+                          : rng::TiePolicy::kDeterministic;
+  sim::ThreadPool pool;
+  const auto rows = sim::run_iterative_study(params, pool);
+  report::TextTable table({"heuristic", "improved", "unchanged", "worsened",
+                           "makespan increases"});
+  for (const auto& row : rows) {
+    table.add_row({row.heuristic, std::to_string(row.machines_improved),
+                   std::to_string(row.machines_unchanged),
+                   std::to_string(row.machines_worsened),
+                   std::to_string(row.makespan_increases) + "/" +
+                       std::to_string(row.trials)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}
+
+int cmd_witness(const Args& args) {
+  const auto name = args.get("heuristic");
+  if (!name) throw std::invalid_argument("--heuristic NAME is required");
+  const auto heuristic = heuristics::make_heuristic(*name);
+  core::WitnessSpec spec;
+  spec.num_tasks = static_cast<std::size_t>(args.get_ll("tasks", 6));
+  spec.num_machines = static_cast<std::size_t>(args.get_ll("machines", 3));
+  spec.half_integers = true;
+  spec.policy = args.get_or("ties", "det") == "random"
+                    ? rng::TiePolicy::kRandom
+                    : rng::TiePolicy::kDeterministic;
+  const auto max_trials =
+      static_cast<std::size_t>(args.get_ll("max-trials", 200000));
+  rng::Rng rng(static_cast<std::uint64_t>(args.get_ll("seed", 42)));
+  const auto witness =
+      core::find_makespan_increase_witness(*heuristic, spec, rng, max_trials);
+  if (!witness) {
+    std::printf("no witness in %zu matrices\n", max_trials);
+    return 1;
+  }
+  std::printf("witness after %zu matrices: makespan %s -> %s\n",
+              witness->trials_used,
+              report::TextTable::num(witness->original_makespan).c_str(),
+              report::TextTable::num(witness->final_makespan).c_str());
+  etc::write_csv(std::cout, *witness->matrix);
+  return 0;
+}
+
+int cmd_optimal(const Args& args) {
+  const etc::EtcMatrix matrix = load_etc(args);
+  core::OptimalOptions options;
+  options.node_limit = static_cast<std::uint64_t>(
+      args.get_ll("node-limit", 50'000'000));
+  const auto result = core::solve_optimal(sched::Problem::full(matrix),
+                                          options);
+  std::printf("%s makespan %s after %llu nodes:\n%s",
+              result.proven_optimal ? "optimal" : "best-found (node limit)",
+              report::TextTable::num(result.makespan, 4).c_str(),
+              static_cast<unsigned long long>(result.nodes_explored),
+              report::render_gantt(result.schedule).c_str());
+  return 0;
+}
+
+int cmd_online(const Args& args) {
+  const etc::EtcMatrix matrix = load_etc(args);
+  const std::string policy_name = args.get_or("policy", "mct");
+  sim::OnlineConfig config;
+  if (policy_name == "met") {
+    config.policy = sim::OnlinePolicy::kMet;
+  } else if (policy_name == "olb") {
+    config.policy = sim::OnlinePolicy::kOlb;
+  } else if (policy_name == "kpb") {
+    config.policy = sim::OnlinePolicy::kKpb;
+  } else if (policy_name == "swa") {
+    config.policy = sim::OnlinePolicy::kSwa;
+  } else if (policy_name != "mct") {
+    throw std::invalid_argument("unknown --policy '" + policy_name + "'");
+  }
+  rng::Rng rng(static_cast<std::uint64_t>(args.get_ll("seed", 1)));
+  const auto stream = sim::make_arrival_stream(
+      static_cast<std::size_t>(args.get_ll("count", 32)),
+      args.get_d("mean-gap", 10.0), matrix.num_tasks(), rng);
+  const sim::OnlineDispatcher dispatcher(config);
+  rng::TieBreaker ties = make_ties(args, rng);
+  const auto result = dispatcher.run(
+      matrix, stream, std::vector<double>(matrix.num_machines(), 0.0), ties);
+  std::printf(
+      "%s dispatched %zu arrivals: makespan %s, mean flow time %s\n",
+      sim::to_string(config.policy), result.records.size(),
+      report::TextTable::num(result.makespan(), 4).c_str(),
+      report::TextTable::num(result.mean_flow_time(), 4).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.error().empty()) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return usage();
+  }
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "generate") return cmd_generate(args);
+    if (command == "map") return cmd_map(args);
+    if (command == "iterate") return cmd_iterate(args);
+    if (command == "study") return cmd_study(args);
+    if (command == "witness") return cmd_witness(args);
+    if (command == "optimal") return cmd_optimal(args);
+    if (command == "online") return cmd_online(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
+  return usage();
+}
