@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_genitor_seeding.dir/bench_genitor_seeding.cpp.o"
+  "CMakeFiles/bench_genitor_seeding.dir/bench_genitor_seeding.cpp.o.d"
+  "bench_genitor_seeding"
+  "bench_genitor_seeding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_genitor_seeding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

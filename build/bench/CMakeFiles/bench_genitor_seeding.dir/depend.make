@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_genitor_seeding.
+# This may be replaced when dependencies are built.

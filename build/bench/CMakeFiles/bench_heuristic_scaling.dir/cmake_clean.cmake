@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heuristic_scaling.dir/bench_heuristic_scaling.cpp.o"
+  "CMakeFiles/bench_heuristic_scaling.dir/bench_heuristic_scaling.cpp.o.d"
+  "bench_heuristic_scaling"
+  "bench_heuristic_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heuristic_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

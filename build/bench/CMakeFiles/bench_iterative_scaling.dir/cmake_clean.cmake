@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterative_scaling.dir/bench_iterative_scaling.cpp.o"
+  "CMakeFiles/bench_iterative_scaling.dir/bench_iterative_scaling.cpp.o.d"
+  "bench_iterative_scaling"
+  "bench_iterative_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterative_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

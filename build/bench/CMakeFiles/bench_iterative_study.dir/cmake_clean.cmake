@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterative_study.dir/bench_iterative_study.cpp.o"
+  "CMakeFiles/bench_iterative_study.dir/bench_iterative_study.cpp.o.d"
+  "bench_iterative_study"
+  "bench_iterative_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterative_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kpb_example.dir/bench_kpb_example.cpp.o"
+  "CMakeFiles/bench_kpb_example.dir/bench_kpb_example.cpp.o.d"
+  "bench_kpb_example"
+  "bench_kpb_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kpb_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

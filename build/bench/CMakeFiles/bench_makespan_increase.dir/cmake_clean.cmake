@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_makespan_increase.dir/bench_makespan_increase.cpp.o"
+  "CMakeFiles/bench_makespan_increase.dir/bench_makespan_increase.cpp.o.d"
+  "bench_makespan_increase"
+  "bench_makespan_increase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_makespan_increase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

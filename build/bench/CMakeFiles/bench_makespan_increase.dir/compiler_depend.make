@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_makespan_increase.
+# This may be replaced when dependencies are built.

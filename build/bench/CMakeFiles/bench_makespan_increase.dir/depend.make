@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_makespan_increase.
+# This may be replaced when dependencies are built.

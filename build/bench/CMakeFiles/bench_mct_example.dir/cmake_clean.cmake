@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mct_example.dir/bench_mct_example.cpp.o"
+  "CMakeFiles/bench_mct_example.dir/bench_mct_example.cpp.o.d"
+  "bench_mct_example"
+  "bench_mct_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mct_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_met_example.dir/bench_met_example.cpp.o"
+  "CMakeFiles/bench_met_example.dir/bench_met_example.cpp.o.d"
+  "bench_met_example"
+  "bench_met_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_met_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

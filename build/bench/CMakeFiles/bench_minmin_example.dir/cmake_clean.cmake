@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minmin_example.dir/bench_minmin_example.cpp.o"
+  "CMakeFiles/bench_minmin_example.dir/bench_minmin_example.cpp.o.d"
+  "bench_minmin_example"
+  "bench_minmin_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minmin_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

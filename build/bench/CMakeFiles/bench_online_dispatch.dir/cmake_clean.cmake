@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_dispatch.dir/bench_online_dispatch.cpp.o"
+  "CMakeFiles/bench_online_dispatch.dir/bench_online_dispatch.cpp.o.d"
+  "bench_online_dispatch"
+  "bench_online_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

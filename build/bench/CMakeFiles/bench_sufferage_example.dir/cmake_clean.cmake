@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sufferage_example.dir/bench_sufferage_example.cpp.o"
+  "CMakeFiles/bench_sufferage_example.dir/bench_sufferage_example.cpp.o.d"
+  "bench_sufferage_example"
+  "bench_sufferage_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sufferage_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

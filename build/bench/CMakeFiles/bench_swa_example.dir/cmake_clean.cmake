@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swa_example.dir/bench_swa_example.cpp.o"
+  "CMakeFiles/bench_swa_example.dir/bench_swa_example.cpp.o.d"
+  "bench_swa_example"
+  "bench_swa_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swa_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem_sweep.dir/bench_theorem_sweep.cpp.o"
+  "CMakeFiles/bench_theorem_sweep.dir/bench_theorem_sweep.cpp.o.d"
+  "bench_theorem_sweep"
+  "bench_theorem_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

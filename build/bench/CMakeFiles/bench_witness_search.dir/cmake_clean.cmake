@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_witness_search.dir/bench_witness_search.cpp.o"
+  "CMakeFiles/bench_witness_search.dir/bench_witness_search.cpp.o.d"
+  "bench_witness_search"
+  "bench_witness_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_witness_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_study.dir/iterative_study.cpp.o"
+  "CMakeFiles/iterative_study.dir/iterative_study.cpp.o.d"
+  "iterative_study"
+  "iterative_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_pipeline.dir/production_pipeline.cpp.o"
+  "CMakeFiles/production_pipeline.dir/production_pipeline.cpp.o.d"
+  "production_pipeline"
+  "production_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_hunt.dir/witness_hunt.cpp.o"
+  "CMakeFiles/witness_hunt.dir/witness_hunt.cpp.o.d"
+  "witness_hunt"
+  "witness_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/iterative.cpp" "src/CMakeFiles/hcsched.dir/core/iterative.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/core/iterative.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/CMakeFiles/hcsched.dir/core/optimal.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/core/optimal.cpp.o.d"
+  "/root/repo/src/core/paper_examples.cpp" "src/CMakeFiles/hcsched.dir/core/paper_examples.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/core/paper_examples.cpp.o.d"
+  "/root/repo/src/core/theorems.cpp" "src/CMakeFiles/hcsched.dir/core/theorems.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/core/theorems.cpp.o.d"
+  "/root/repo/src/core/witness.cpp" "src/CMakeFiles/hcsched.dir/core/witness.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/core/witness.cpp.o.d"
+  "/root/repo/src/etc/consistency.cpp" "src/CMakeFiles/hcsched.dir/etc/consistency.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/etc/consistency.cpp.o.d"
+  "/root/repo/src/etc/cvb_generator.cpp" "src/CMakeFiles/hcsched.dir/etc/cvb_generator.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/etc/cvb_generator.cpp.o.d"
+  "/root/repo/src/etc/etc_io.cpp" "src/CMakeFiles/hcsched.dir/etc/etc_io.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/etc/etc_io.cpp.o.d"
+  "/root/repo/src/etc/etc_matrix.cpp" "src/CMakeFiles/hcsched.dir/etc/etc_matrix.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/etc/etc_matrix.cpp.o.d"
+  "/root/repo/src/etc/range_generator.cpp" "src/CMakeFiles/hcsched.dir/etc/range_generator.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/etc/range_generator.cpp.o.d"
+  "/root/repo/src/ga/chromosome.cpp" "src/CMakeFiles/hcsched.dir/ga/chromosome.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/ga/chromosome.cpp.o.d"
+  "/root/repo/src/ga/genitor.cpp" "src/CMakeFiles/hcsched.dir/ga/genitor.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/ga/genitor.cpp.o.d"
+  "/root/repo/src/ga/operators.cpp" "src/CMakeFiles/hcsched.dir/ga/operators.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/ga/operators.cpp.o.d"
+  "/root/repo/src/ga/population.cpp" "src/CMakeFiles/hcsched.dir/ga/population.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/ga/population.cpp.o.d"
+  "/root/repo/src/heuristics/astar.cpp" "src/CMakeFiles/hcsched.dir/heuristics/astar.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/astar.cpp.o.d"
+  "/root/repo/src/heuristics/duplex.cpp" "src/CMakeFiles/hcsched.dir/heuristics/duplex.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/duplex.cpp.o.d"
+  "/root/repo/src/heuristics/gsa.cpp" "src/CMakeFiles/hcsched.dir/heuristics/gsa.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/gsa.cpp.o.d"
+  "/root/repo/src/heuristics/heuristic.cpp" "src/CMakeFiles/hcsched.dir/heuristics/heuristic.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/heuristic.cpp.o.d"
+  "/root/repo/src/heuristics/kpb.cpp" "src/CMakeFiles/hcsched.dir/heuristics/kpb.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/kpb.cpp.o.d"
+  "/root/repo/src/heuristics/maxmin.cpp" "src/CMakeFiles/hcsched.dir/heuristics/maxmin.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/maxmin.cpp.o.d"
+  "/root/repo/src/heuristics/mct.cpp" "src/CMakeFiles/hcsched.dir/heuristics/mct.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/mct.cpp.o.d"
+  "/root/repo/src/heuristics/met.cpp" "src/CMakeFiles/hcsched.dir/heuristics/met.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/met.cpp.o.d"
+  "/root/repo/src/heuristics/minmin.cpp" "src/CMakeFiles/hcsched.dir/heuristics/minmin.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/minmin.cpp.o.d"
+  "/root/repo/src/heuristics/olb.cpp" "src/CMakeFiles/hcsched.dir/heuristics/olb.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/olb.cpp.o.d"
+  "/root/repo/src/heuristics/registry.cpp" "src/CMakeFiles/hcsched.dir/heuristics/registry.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/registry.cpp.o.d"
+  "/root/repo/src/heuristics/sa.cpp" "src/CMakeFiles/hcsched.dir/heuristics/sa.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/sa.cpp.o.d"
+  "/root/repo/src/heuristics/seeded.cpp" "src/CMakeFiles/hcsched.dir/heuristics/seeded.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/seeded.cpp.o.d"
+  "/root/repo/src/heuristics/segmented.cpp" "src/CMakeFiles/hcsched.dir/heuristics/segmented.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/segmented.cpp.o.d"
+  "/root/repo/src/heuristics/sufferage.cpp" "src/CMakeFiles/hcsched.dir/heuristics/sufferage.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/sufferage.cpp.o.d"
+  "/root/repo/src/heuristics/swa.cpp" "src/CMakeFiles/hcsched.dir/heuristics/swa.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/swa.cpp.o.d"
+  "/root/repo/src/heuristics/tabu.cpp" "src/CMakeFiles/hcsched.dir/heuristics/tabu.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/heuristics/tabu.cpp.o.d"
+  "/root/repo/src/report/csv.cpp" "src/CMakeFiles/hcsched.dir/report/csv.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/report/csv.cpp.o.d"
+  "/root/repo/src/report/gantt.cpp" "src/CMakeFiles/hcsched.dir/report/gantt.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/report/gantt.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/hcsched.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/report/table.cpp.o.d"
+  "/root/repo/src/rng/rng.cpp" "src/CMakeFiles/hcsched.dir/rng/rng.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/rng/rng.cpp.o.d"
+  "/root/repo/src/rng/splitmix64.cpp" "src/CMakeFiles/hcsched.dir/rng/splitmix64.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/rng/splitmix64.cpp.o.d"
+  "/root/repo/src/rng/tie_break.cpp" "src/CMakeFiles/hcsched.dir/rng/tie_break.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/rng/tie_break.cpp.o.d"
+  "/root/repo/src/rng/xoshiro256ss.cpp" "src/CMakeFiles/hcsched.dir/rng/xoshiro256ss.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/rng/xoshiro256ss.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/CMakeFiles/hcsched.dir/sched/metrics.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sched/metrics.cpp.o.d"
+  "/root/repo/src/sched/problem.cpp" "src/CMakeFiles/hcsched.dir/sched/problem.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sched/problem.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/hcsched.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/CMakeFiles/hcsched.dir/sched/validate.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sched/validate.cpp.o.d"
+  "/root/repo/src/sim/batch_online.cpp" "src/CMakeFiles/hcsched.dir/sim/batch_online.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/batch_online.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/hcsched.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/online.cpp" "src/CMakeFiles/hcsched.dir/sim/online.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/online.cpp.o.d"
+  "/root/repo/src/sim/robustness.cpp" "src/CMakeFiles/hcsched.dir/sim/robustness.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/robustness.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/hcsched.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/sweep.cpp" "src/CMakeFiles/hcsched.dir/sim/sweep.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/sweep.cpp.o.d"
+  "/root/repo/src/sim/thread_pool.cpp" "src/CMakeFiles/hcsched.dir/sim/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hcsched.dir/sim/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_astar.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_astar.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_astar.cpp.o.d"
+  "/root/repo/tests/test_batch_online.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_batch_online.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_batch_online.cpp.o.d"
+  "/root/repo/tests/test_consistency.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_consistency.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_consistency.cpp.o.d"
+  "/root/repo/tests/test_etc_io.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_etc_io.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_etc_io.cpp.o.d"
+  "/root/repo/tests/test_etc_matrix.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_etc_matrix.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_etc_matrix.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_genitor.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_genitor.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_genitor.cpp.o.d"
+  "/root/repo/tests/test_heuristics_basic.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_heuristics_basic.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_heuristics_basic.cpp.o.d"
+  "/root/repo/tests/test_heuristics_property.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_heuristics_property.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_heuristics_property.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_iterative.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_iterative.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_iterative.cpp.o.d"
+  "/root/repo/tests/test_kpb.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_kpb.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_kpb.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_online.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_online.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_online.cpp.o.d"
+  "/root/repo/tests/test_optimal.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_optimal.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_optimal.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_problem.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_problem.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_problem.cpp.o.d"
+  "/root/repo/tests/test_registry.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_registry.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_registry.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_search_heuristics.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_search_heuristics.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_search_heuristics.cpp.o.d"
+  "/root/repo/tests/test_seeded.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_seeded.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_seeded.cpp.o.d"
+  "/root/repo/tests/test_splitmix64.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_splitmix64.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_splitmix64.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sufferage.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_sufferage.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_sufferage.cpp.o.d"
+  "/root/repo/tests/test_swa.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_swa.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_swa.cpp.o.d"
+  "/root/repo/tests/test_theorems.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_theorems.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_theorems.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_tie_break.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_tie_break.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_tie_break.cpp.o.d"
+  "/root/repo/tests/test_validate.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_validate.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_validate.cpp.o.d"
+  "/root/repo/tests/test_witness.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_witness.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_witness.cpp.o.d"
+  "/root/repo/tests/test_xoshiro.cpp" "tests/CMakeFiles/hcsched_tests.dir/test_xoshiro.cpp.o" "gcc" "tests/CMakeFiles/hcsched_tests.dir/test_xoshiro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hcsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcsched_cli.dir/hcsched_cli.cpp.o"
+  "CMakeFiles/hcsched_cli.dir/hcsched_cli.cpp.o.d"
+  "hcsched_cli"
+  "hcsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_list "/root/repo/build/tools/hcsched_cli" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_map "sh" "-c" "/root/repo/build/tools/hcsched_cli generate --tasks 8 --machines 3 --seed 5 --out /root/repo/build/tools/cli_etc.csv && /root/repo/build/tools/hcsched_cli map --etc /root/repo/build/tools/cli_etc.csv --heuristic Min-Min")
+set_tests_properties(cli_generate_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_iterate "sh" "-c" "/root/repo/build/tools/hcsched_cli generate --tasks 8 --machines 3 --seed 6 --out /root/repo/build/tools/cli_etc2.csv && /root/repo/build/tools/hcsched_cli iterate --etc /root/repo/build/tools/cli_etc2.csv --heuristic Sufferage")
+set_tests_properties(cli_iterate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_witness "/root/repo/build/tools/hcsched_cli" "witness" "--heuristic" "KPB" "--tasks" "5" "--machines" "3" "--max-trials" "100000")
+set_tests_properties(cli_witness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_study "/root/repo/build/tools/hcsched_cli" "study" "--trials" "4" "--tasks" "10" "--machines" "3")
+set_tests_properties(cli_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_optimal_online "sh" "-c" "/root/repo/build/tools/hcsched_cli generate --tasks 8 --machines 3 --seed 9 --out /root/repo/build/tools/cli_etc3.csv && /root/repo/build/tools/hcsched_cli optimal --etc /root/repo/build/tools/cli_etc3.csv && /root/repo/build/tools/hcsched_cli online --etc /root/repo/build/tools/cli_etc3.csv --policy kpb --count 12")
+set_tests_properties(cli_optimal_online PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_subcommand "/root/repo/build/tools/hcsched_cli" "frobnicate")
+set_tests_properties(cli_bad_subcommand PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
