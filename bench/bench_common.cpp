@@ -1,10 +1,14 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "heuristics/registry.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
 
@@ -73,7 +77,41 @@ void print_ct_comparison(const core::PaperExample& example,
               TextTable::num(result.final_makespan()).c_str());
 }
 
+/// Attaches the per-benchmark-iteration operation counts (ETC cells
+/// evaluated, tie-break decisions, heuristic invocations) to the benchmark's
+/// user counters, so timing rows carry their work alongside their latency.
+/// All zeros when the library is built with HCSCHED_TRACE=0.
+void attach_counter_deltas(benchmark::State& state,
+                           const obs::counters::Snapshot& before) {
+  const auto delta = obs::counters::snapshot().delta_since(before);
+  const auto per_iter = [&state](std::uint64_t total) {
+    return benchmark::Counter(
+        static_cast<double>(total) /
+        static_cast<double>(std::max<std::int64_t>(1, state.iterations())));
+  };
+  state.counters["etc_cells"] =
+      per_iter(delta[obs::Counter::kEtcCellEvaluations]);
+  state.counters["tie_decisions"] = per_iter(delta[obs::Counter::kTieDecisions]);
+  state.counters["heuristic_calls"] =
+      per_iter(delta[obs::Counter::kHeuristicInvocations]);
+}
+
 }  // namespace
+
+void print_counter_snapshot(const obs::counters::Snapshot& delta) {
+  if (!obs::kTraceCompiledIn) {
+    std::printf("-- operation counters: compiled out (HCSCHED_TRACE=0) --\n");
+    return;
+  }
+  TextTable table({"counter", "value"});
+  for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+    const auto c = static_cast<obs::Counter>(i);
+    table.add_row({std::string(obs::to_string(c)),
+                   std::to_string(delta[c])});
+  }
+  std::printf("-- operation counters (reproduction section) --\n%s",
+              table.to_string().c_str());
+}
 
 bool print_example_reproduction(const core::PaperExample& example) {
   std::printf("=== %s example — %s / %s ===\n", example.heuristic.c_str(),
@@ -113,10 +151,12 @@ void register_example_benchmarks(const core::PaperExample& example) {
       [ex](benchmark::State& state) {
         const auto heuristic = heuristics::make_heuristic(ex->heuristic);
         const sched::Problem problem = sched::Problem::full(*ex->matrix);
+        const auto before = obs::counters::snapshot();
         for (auto _ : state) {
           rng::TieBreaker ties;
           benchmark::DoNotOptimize(heuristic->map(problem, ties));
         }
+        attach_counter_deltas(state, before);
       });
   benchmark::RegisterBenchmark(
       (example.id + "/iterative_run").c_str(),
@@ -125,16 +165,21 @@ void register_example_benchmarks(const core::PaperExample& example) {
         const sched::Problem problem = sched::Problem::full(*ex->matrix);
         const core::IterativeMinimizer minimizer{
             core::IterativeOptions{.use_seeding = false}};
+        const auto before = obs::counters::snapshot();
         for (auto _ : state) {
           rng::TieBreaker ties(std::vector<std::size_t>(ex->tie_script));
           benchmark::DoNotOptimize(minimizer.run(*heuristic, problem, ties));
         }
+        attach_counter_deltas(state, before);
       });
 }
 
 int run_example_main(int argc, char** argv,
                      const core::PaperExample& example) {
+  const auto before = obs::counters::snapshot();
   const bool ok = print_example_reproduction(example);
+  print_counter_snapshot(obs::counters::snapshot().delta_since(before));
+  std::printf("\n");
   register_example_benchmarks(example);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

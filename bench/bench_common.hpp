@@ -8,8 +8,13 @@
 #include <benchmark/benchmark.h>
 
 #include "core/paper_examples.hpp"
+#include "obs/counters.hpp"
 
 namespace hcsched::bench {
+
+/// Prints a table of operation-counter values (one row per counter). Pass a
+/// delta from counters::Snapshot::delta_since to scope it to one section.
+void print_counter_snapshot(const obs::counters::Snapshot& delta);
 
 /// Prints the full reproduction of one worked example:
 ///  * the reconstructed ETC matrix (paper's "Table N: ETC matrix ..."),

@@ -4,7 +4,54 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "sched/metrics.hpp"
+
 namespace hcsched::core {
+
+namespace {
+
+#if HCSCHED_TRACE
+/// One "iterative.iteration" event: the paper's per-iteration trajectory
+/// (completion-time vector, balance index, makespan transition) plus which
+/// machine gets frozen. `removed` is false for the terminal iteration.
+void trace_iteration(const Heuristic& heuristic, const IterationRecord& record,
+                     bool removed) {
+  if (!obs::Tracer::active()) return;
+  obs::JsonValue::Object completion_times;
+  completion_times.reserve(record.problem().num_machines());
+  for (MachineId m : record.problem().machines()) {
+    std::string label(1, 'm');
+    label += std::to_string(m);
+    completion_times.emplace_back(
+        std::move(label), obs::JsonValue(record.schedule.completion_time(m)));
+  }
+  obs::JsonValue::Object fields;
+  fields.emplace_back("heuristic", obs::JsonValue(heuristic.name()));
+  fields.emplace_back("iteration", obs::JsonValue(record.index));
+  fields.emplace_back("tasks",
+                      obs::JsonValue(record.problem().num_tasks()));
+  fields.emplace_back("machines",
+                      obs::JsonValue(record.problem().num_machines()));
+  fields.emplace_back("makespan", obs::JsonValue(record.makespan));
+  fields.emplace_back(
+      "balance_index",
+      obs::JsonValue(sched::load_balance_index(record.schedule)));
+  fields.emplace_back("completion_times",
+                      obs::JsonValue(std::move(completion_times)));
+  if (removed) {
+    std::string label(1, 'm');
+    label += std::to_string(record.makespan_machine);
+    fields.emplace_back("removed_machine", obs::JsonValue(std::move(label)));
+    fields.emplace_back("frozen_completion_time",
+                        obs::JsonValue(record.makespan));
+  }
+  obs::Tracer::emit("iterative.iteration", std::move(fields));
+}
+#endif
+
+}  // namespace
 
 double IterativeResult::final_finish_of(MachineId machine) const {
   for (const auto& [m, t] : final_finishing_times) {
@@ -43,6 +90,7 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
   if (problem.num_machines() == 0) {
     throw std::invalid_argument("IterativeMinimizer: no machines");
   }
+  HCSCHED_COUNT(obs::Counter::kIterativeRuns);
   IterativeResult result;
   // Final finishing times keyed in initial machine order; filled in as
   // machines are removed.
@@ -73,16 +121,23 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
         record.schedule.makespan_machine(options_.epsilon);
     result.iterations.push_back(std::move(record));
     const IterationRecord& done = result.iterations.back();
+    HCSCHED_COUNT(obs::Counter::kIterativeIterations);
 
     if (done.problem().num_machines() == 1 ||
         done.problem().num_tasks() == 0) {
       // Terminal iteration: every surviving machine keeps this mapping's
       // completion time.
+#if HCSCHED_TRACE
+      trace_iteration(heuristic, done, /*removed=*/false);
+#endif
       for (MachineId m : done.problem().machines()) {
         record_finish(m, done.schedule.completion_time(m));
       }
       break;
     }
+#if HCSCHED_TRACE
+    trace_iteration(heuristic, done, /*removed=*/true);
+#endif
     // Freeze the makespan machine's finishing time and shrink the problem.
     record_finish(done.makespan_machine, done.makespan);
     const std::vector<TaskId> removed_tasks =
@@ -100,6 +155,30 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
       seed = &seed_storage;
     }
   }
+#if HCSCHED_TRACE
+  if (obs::Tracer::active()) {
+    obs::JsonValue::Object final_times;
+    final_times.reserve(result.final_finishing_times.size());
+    for (const auto& [m, t] : result.final_finishing_times) {
+      std::string label(1, 'm');
+      label += std::to_string(m);
+      final_times.emplace_back(std::move(label), obs::JsonValue(t));
+    }
+    obs::JsonValue::Object fields;
+    fields.emplace_back("heuristic", obs::JsonValue(heuristic.name()));
+    fields.emplace_back("iterations",
+                        obs::JsonValue(result.iterations.size()));
+    fields.emplace_back("original_makespan",
+                        obs::JsonValue(result.original().makespan));
+    fields.emplace_back("final_makespan",
+                        obs::JsonValue(result.final_makespan()));
+    fields.emplace_back("makespan_increased",
+                        obs::JsonValue(result.makespan_increased()));
+    fields.emplace_back("final_finishing_times",
+                        obs::JsonValue(std::move(final_times)));
+    obs::Tracer::emit("iterative.done", std::move(fields));
+  }
+#endif
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/counters.hpp"
+
 namespace hcsched::core {
 
 namespace {
@@ -32,6 +34,7 @@ struct Searcher {
   }
 
   void dfs(std::size_t depth, double current_max) {
+    HCSCHED_COUNT(obs::Counter::kSearchNodesExpanded);
     if (++nodes > options.node_limit) {
       complete = false;
       return;

@@ -4,6 +4,7 @@
 
 #include "ga/operators.hpp"
 #include "heuristics/minmin.hpp"
+#include "obs/counters.hpp"
 
 namespace hcsched::ga {
 
@@ -13,12 +14,12 @@ Genitor::Genitor(GenitorConfig config) : config_(config) {
   }
 }
 
-Schedule Genitor::map(const Problem& problem,
+Schedule Genitor::do_map(const Problem& problem,
                       heuristics::TieBreaker& ties) const {
-  return map_seeded(problem, ties, nullptr);
+  return do_map_seeded(problem, ties, nullptr);
 }
 
-Schedule Genitor::map_seeded(const Problem& problem,
+Schedule Genitor::do_map_seeded(const Problem& problem,
                              heuristics::TieBreaker& ties,
                              const Schedule* seed) const {
   if (problem.num_machines() == 0) {
@@ -52,7 +53,9 @@ Schedule Genitor::map_seeded(const Problem& problem,
   std::size_t stale = 0;
   for (std::size_t step = 0; step < config_.total_steps; ++step) {
     ++last_run_.steps_executed;
+    HCSCHED_COUNT(obs::Counter::kGaSteps);
     // Crossover trial (Figure 1, step 3a).
+    HCSCHED_COUNT(obs::Counter::kGaCrossovers);
     const Member& pa = population.at(population.select_rank(rng));
     const Member& pb = population.at(population.select_rank(rng));
     auto [oa, ob] = crossover(pa.chromosome, pb.chromosome, rng);
@@ -62,6 +65,7 @@ Schedule Genitor::map_seeded(const Problem& problem,
     population.insert(Member{std::move(ob), fb});
 
     // Mutation trial (Figure 1, step 3b).
+    HCSCHED_COUNT(obs::Counter::kGaMutations);
     Chromosome mutant = population.at(population.select_rank(rng)).chromosome;
     mutate(mutant, problem.num_machines(), rng);
     const double fm = mutant.evaluate(problem);

@@ -39,9 +39,9 @@ class Genitor final : public heuristics::Heuristic {
   explicit Genitor(GenitorConfig config = {});
 
   std::string_view name() const noexcept override { return "Genitor"; }
-  Schedule map(const Problem& problem,
+  Schedule do_map(const Problem& problem,
                heuristics::TieBreaker& ties) const override;
-  Schedule map_seeded(const Problem& problem, heuristics::TieBreaker& ties,
+  Schedule do_map_seeded(const Problem& problem, heuristics::TieBreaker& ties,
                       const Schedule* seed) const override;
 
   bool deterministic_given_ties() const noexcept override { return false; }

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/counters.hpp"
+
 namespace hcsched::heuristics {
 
 namespace {
@@ -36,7 +38,7 @@ AStar::AStar(AStarConfig config) : config_(config) {
   }
 }
 
-Schedule AStar::map(const Problem& problem, TieBreaker& ties) const {
+Schedule AStar::do_map(const Problem& problem, TieBreaker& ties) const {
   if (problem.num_machines() == 0) {
     throw std::invalid_argument("AStar: no machines");
   }
@@ -109,6 +111,7 @@ Schedule AStar::map(const Problem& problem, TieBreaker& ties) const {
       break;
     }
     if (++expansions > config_.max_expansions) break;
+    HCSCHED_COUNT(obs::Counter::kSearchNodesExpanded);
     for (std::size_t slot = 0; slot < machines; ++slot) {
       auto child = std::make_shared<Node>();
       child->parent = node;

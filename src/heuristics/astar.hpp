@@ -27,7 +27,7 @@ class AStar final : public Heuristic {
   explicit AStar(AStarConfig config = {});
 
   std::string_view name() const noexcept override { return "A*"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 
   const AStarConfig& config() const noexcept { return config_; }
 

@@ -4,7 +4,7 @@
 
 namespace hcsched::heuristics {
 
-Schedule Duplex::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Duplex::do_map(const Problem& problem, TieBreaker& ties) const {
   Schedule lo = detail::two_phase_greedy(problem, ties,
                                          /*prefer_largest=*/false);
   Schedule hi = detail::two_phase_greedy(problem, ties,

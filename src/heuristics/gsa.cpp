@@ -18,11 +18,11 @@ Gsa::Gsa(GsaConfig config) : config_(config) {
   }
 }
 
-Schedule Gsa::map(const Problem& problem, TieBreaker& ties) const {
-  return map_seeded(problem, ties, nullptr);
+Schedule Gsa::do_map(const Problem& problem, TieBreaker& ties) const {
+  return do_map_seeded(problem, ties, nullptr);
 }
 
-Schedule Gsa::map_seeded(const Problem& problem, TieBreaker& ties,
+Schedule Gsa::do_map_seeded(const Problem& problem, TieBreaker& ties,
                          const Schedule* seed) const {
   if (problem.num_machines() == 0) {
     throw std::invalid_argument("GSA: no machines");

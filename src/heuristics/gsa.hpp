@@ -28,8 +28,8 @@ class Gsa final : public Heuristic {
   explicit Gsa(GsaConfig config = {});
 
   std::string_view name() const noexcept override { return "GSA"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
-  Schedule map_seeded(const Problem& problem, TieBreaker& ties,
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map_seeded(const Problem& problem, TieBreaker& ties,
                       const Schedule* seed) const override;
 
   bool deterministic_given_ties() const noexcept override { return false; }

@@ -1,11 +1,73 @@
 #include "heuristics/heuristic.hpp"
 
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+
+#if HCSCHED_TRACE
+#include <chrono>
+#endif
+
 namespace hcsched::heuristics {
+
+namespace {
+
+#if HCSCHED_TRACE
+/// Times one heuristic invocation and feeds the counter/timing registries
+/// (and the tracer, when a sink is installed) on scope exit.
+class CallScope {
+ public:
+  CallScope(const Heuristic& heuristic, const Problem& problem, bool seeded)
+      : heuristic_(heuristic),
+        problem_(problem),
+        seeded_(seeded),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~CallScope() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    obs::counters::add(obs::Counter::kHeuristicInvocations);
+    obs::record_heuristic_call(heuristic_.name(), ns);
+    HCSCHED_TRACE_EVENT(
+        "heuristic.call",
+        {{"heuristic", obs::JsonValue(heuristic_.name())},
+         {"tasks", obs::JsonValue(problem_.num_tasks())},
+         {"machines", obs::JsonValue(problem_.num_machines())},
+         {"seeded", obs::JsonValue(seeded_)},
+         {"duration_ns", obs::JsonValue(ns)}});
+  }
+
+ private:
+  const Heuristic& heuristic_;
+  const Problem& problem_;
+  bool seeded_;
+  std::chrono::steady_clock::time_point start_;
+};
+#endif
+
+}  // namespace
+
+Schedule Heuristic::map(const Problem& problem, TieBreaker& ties) const {
+#if HCSCHED_TRACE
+  const CallScope scope(*this, problem, /*seeded=*/false);
+#endif
+  return do_map(problem, ties);
+}
+
+Schedule Heuristic::map_seeded(const Problem& problem, TieBreaker& ties,
+                               const Schedule* seed) const {
+#if HCSCHED_TRACE
+  const CallScope scope(*this, problem, /*seeded=*/seed != nullptr);
+#endif
+  return do_map_seeded(problem, ties, seed);
+}
 
 void completion_times(const Problem& problem, TaskId task,
                       const std::vector<double>& ready,
                       std::vector<double>& scores) {
   const std::size_t m = problem.num_machines();
+  HCSCHED_COUNT(obs::Counter::kEtcCellEvaluations, m);
   scores.resize(m);
   for (std::size_t slot = 0; slot < m; ++slot) {
     scores[slot] = ready[slot] + problem.etc_at(task, slot);

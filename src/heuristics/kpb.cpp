@@ -19,7 +19,7 @@ std::size_t Kpb::subset_size(std::size_t machines) const noexcept {
   return std::max<std::size_t>(1, k);
 }
 
-Schedule Kpb::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Kpb::do_map(const Problem& problem, TieBreaker& ties) const {
   return map_traced(problem, ties, nullptr);
 }
 

@@ -33,7 +33,7 @@ class Kpb final : public Heuristic {
   explicit Kpb(double k_percent = 70.0);
 
   std::string_view name() const noexcept override { return "KPB"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 
   Schedule map_traced(const Problem& problem, TieBreaker& ties,
                       std::vector<KpbStep>* trace) const;

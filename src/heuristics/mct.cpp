@@ -2,7 +2,7 @@
 
 namespace hcsched::heuristics {
 
-Schedule Mct::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Mct::do_map(const Problem& problem, TieBreaker& ties) const {
   Schedule schedule(problem);
   std::vector<double> ready = problem.initial_ready_times();
   std::vector<double> scores;

@@ -14,7 +14,7 @@ namespace hcsched::heuristics {
 class Mct final : public Heuristic {
  public:
   std::string_view name() const noexcept override { return "MCT"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 };
 
 }  // namespace hcsched::heuristics

@@ -2,7 +2,7 @@
 
 namespace hcsched::heuristics {
 
-Schedule Met::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Met::do_map(const Problem& problem, TieBreaker& ties) const {
   Schedule schedule(problem);
   std::vector<double> scores(problem.num_machines());
   for (TaskId task : problem.tasks()) {

@@ -15,7 +15,7 @@ namespace hcsched::heuristics {
 class Met final : public Heuristic {
  public:
   std::string_view name() const noexcept override { return "MET"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 };
 
 }  // namespace hcsched::heuristics

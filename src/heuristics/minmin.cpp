@@ -40,11 +40,11 @@ Schedule two_phase_greedy(const Problem& problem, TieBreaker& ties,
 
 }  // namespace detail
 
-Schedule MinMin::map(const Problem& problem, TieBreaker& ties) const {
+Schedule MinMin::do_map(const Problem& problem, TieBreaker& ties) const {
   return detail::two_phase_greedy(problem, ties, /*prefer_largest=*/false);
 }
 
-Schedule MaxMin::map(const Problem& problem, TieBreaker& ties) const {
+Schedule MaxMin::do_map(const Problem& problem, TieBreaker& ties) const {
   return detail::two_phase_greedy(problem, ties, /*prefer_largest=*/true);
 }
 

@@ -21,13 +21,13 @@ namespace hcsched::heuristics {
 class MinMin final : public Heuristic {
  public:
   std::string_view name() const noexcept override { return "Min-Min"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 };
 
 class MaxMin final : public Heuristic {
  public:
   std::string_view name() const noexcept override { return "Max-Min"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 };
 
 namespace detail {

@@ -2,7 +2,7 @@
 
 namespace hcsched::heuristics {
 
-Schedule Olb::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Olb::do_map(const Problem& problem, TieBreaker& ties) const {
   Schedule schedule(problem);
   std::vector<double> ready = problem.initial_ready_times();
   for (TaskId task : problem.tasks()) {

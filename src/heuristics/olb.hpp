@@ -13,7 +13,7 @@ namespace hcsched::heuristics {
 class Olb final : public Heuristic {
  public:
   std::string_view name() const noexcept override { return "OLB"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 };
 
 }  // namespace hcsched::heuristics

@@ -14,12 +14,12 @@ SimulatedAnnealing::SimulatedAnnealing(SaConfig config) : config_(config) {
   }
 }
 
-Schedule SimulatedAnnealing::map(const Problem& problem,
+Schedule SimulatedAnnealing::do_map(const Problem& problem,
                                  TieBreaker& ties) const {
-  return map_seeded(problem, ties, nullptr);
+  return do_map_seeded(problem, ties, nullptr);
 }
 
-Schedule SimulatedAnnealing::map_seeded(const Problem& problem,
+Schedule SimulatedAnnealing::do_map_seeded(const Problem& problem,
                                         TieBreaker& ties,
                                         const Schedule* seed) const {
   if (problem.num_machines() == 0) {

@@ -30,8 +30,8 @@ class SimulatedAnnealing final : public Heuristic {
   explicit SimulatedAnnealing(SaConfig config = {});
 
   std::string_view name() const noexcept override { return "SA"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
-  Schedule map_seeded(const Problem& problem, TieBreaker& ties,
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map_seeded(const Problem& problem, TieBreaker& ties,
                       const Schedule* seed) const override;
 
   bool deterministic_given_ties() const noexcept override { return false; }

@@ -15,11 +15,11 @@ Seeded::Seeded(std::unique_ptr<Heuristic> inner) : inner_(std::move(inner)) {
   name_ += '>';
 }
 
-Schedule Seeded::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Seeded::do_map(const Problem& problem, TieBreaker& ties) const {
   return inner_->map_seeded(problem, ties, nullptr);
 }
 
-Schedule Seeded::map_seeded(const Problem& problem, TieBreaker& ties,
+Schedule Seeded::do_map_seeded(const Problem& problem, TieBreaker& ties,
                             const Schedule* seed) const {
   Schedule fresh = inner_->map_seeded(problem, ties, seed);
   if (seed == nullptr) return fresh;

@@ -30,8 +30,8 @@ class Seeded final : public Heuristic {
   /// Reported as "Seeded<inner-name>".
   std::string_view name() const noexcept override { return name_; }
 
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
-  Schedule map_seeded(const Problem& problem, TieBreaker& ties,
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map_seeded(const Problem& problem, TieBreaker& ties,
                       const Schedule* seed) const override;
 
   bool deterministic_given_ties() const noexcept override {

@@ -40,7 +40,7 @@ double SegmentedMinMin::key_of(const Problem& problem, TaskId task) const {
   return acc;
 }
 
-Schedule SegmentedMinMin::map(const Problem& problem,
+Schedule SegmentedMinMin::do_map(const Problem& problem,
                               TieBreaker& ties) const {
   Schedule schedule(problem);
   if (problem.num_tasks() == 0) return schedule;

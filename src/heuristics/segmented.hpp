@@ -23,7 +23,7 @@ class SegmentedMinMin final : public Heuristic {
   std::string_view name() const noexcept override {
     return "Segmented Min-Min";
   }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 
   std::size_t segments() const noexcept { return segments_; }
   SegmentKey key() const noexcept { return key_; }

@@ -30,7 +30,7 @@ BestTwo best_two(const std::vector<double>& scores, TieBreaker& ties) {
 
 }  // namespace
 
-Schedule Sufferage::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Sufferage::do_map(const Problem& problem, TieBreaker& ties) const {
   return map_traced(problem, ties, nullptr);
 }
 

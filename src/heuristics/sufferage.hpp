@@ -46,7 +46,7 @@ class Sufferage final : public Heuristic {
       : requeue_(requeue) {}
 
   std::string_view name() const noexcept override { return "Sufferage"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 
   /// map() that also records the pass-by-pass commit trace.
   Schedule map_traced(const Problem& problem, TieBreaker& ties,

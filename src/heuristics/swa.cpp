@@ -12,7 +12,7 @@ Swa::Swa(double low_threshold, double high_threshold)
   }
 }
 
-Schedule Swa::map(const Problem& problem, TieBreaker& ties) const {
+Schedule Swa::do_map(const Problem& problem, TieBreaker& ties) const {
   return map_traced(problem, ties, nullptr);
 }
 

@@ -38,7 +38,7 @@ class Swa final : public Heuristic {
   explicit Swa(double low_threshold = 0.35, double high_threshold = 0.49);
 
   std::string_view name() const noexcept override { return "SWA"; }
-  Schedule map(const Problem& problem, TieBreaker& ties) const override;
+  Schedule do_map(const Problem& problem, TieBreaker& ties) const override;
 
   Schedule map_traced(const Problem& problem, TieBreaker& ties,
                       std::vector<SwaStep>* trace) const;

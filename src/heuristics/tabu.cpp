@@ -78,11 +78,11 @@ std::size_t hamming_distance(const ga::Chromosome& a,
 
 TabuSearch::TabuSearch(TabuConfig config) : config_(config) {}
 
-Schedule TabuSearch::map(const Problem& problem, TieBreaker& ties) const {
-  return map_seeded(problem, ties, nullptr);
+Schedule TabuSearch::do_map(const Problem& problem, TieBreaker& ties) const {
+  return do_map_seeded(problem, ties, nullptr);
 }
 
-Schedule TabuSearch::map_seeded(const Problem& problem, TieBreaker& ties,
+Schedule TabuSearch::do_map_seeded(const Problem& problem, TieBreaker& ties,
                                 const Schedule* seed) const {
   if (problem.num_machines() == 0) {
     throw std::invalid_argument("Tabu: no machines");

@@ -1,0 +1,237 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+
+namespace hcsched::obs {
+
+namespace {
+
+// Global table. Atomics receive whole thread-local buffers at flush time, so
+// contention is proportional to flush frequency, not to add() frequency.
+std::array<std::atomic<std::uint64_t>, kNumCounters>& global_table() {
+  static std::array<std::atomic<std::uint64_t>, kNumCounters> table{};
+  return table;
+}
+
+struct ThreadBuffer {
+  std::array<std::uint64_t, kNumCounters> values{};
+  bool dirty = false;
+
+  ~ThreadBuffer() { flush(); }
+
+  void flush() noexcept {
+    if (!dirty) return;
+    auto& table = global_table();
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      if (values[i] != 0) {
+        table[i].fetch_add(values[i], std::memory_order_relaxed);
+        values[i] = 0;
+      }
+    }
+    dirty = false;
+  }
+};
+
+ThreadBuffer& thread_buffer() noexcept {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+std::atomic<std::uint64_t> g_max_queue_depth{0};
+
+std::mutex g_timings_mutex;
+std::map<std::string, HeuristicTiming, std::less<>>& timings_map() {
+  static std::map<std::string, HeuristicTiming, std::less<>> map;
+  return map;
+}
+
+constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
+    "heuristic_invocations", "etc_cell_evaluations",
+    "tie_decisions",         "tie_events",
+    "ga_steps",              "ga_crossovers",
+    "ga_mutations",          "search_nodes_expanded",
+    "iterative_runs",        "iterative_iterations",
+    "pool_tasks_submitted",  "pool_tasks_completed",
+};
+
+void atomic_store_max(std::atomic<std::uint64_t>& slot,
+                      std::uint64_t candidate) noexcept {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (candidate > current &&
+         !slot.compare_exchange_weak(current, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Counter c) noexcept {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+namespace counters {
+
+void add(Counter c, std::uint64_t n) noexcept {
+  ThreadBuffer& buffer = thread_buffer();
+  buffer.values[static_cast<std::size_t>(c)] += n;
+  buffer.dirty = true;
+}
+
+void flush_thread() noexcept { thread_buffer().flush(); }
+
+Snapshot Snapshot::delta_since(const Snapshot& earlier) const noexcept {
+  Snapshot out;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out.values[i] =
+        values[i] >= earlier.values[i] ? values[i] - earlier.values[i] : 0;
+  }
+  return out;
+}
+
+JsonValue Snapshot::to_json() const {
+  JsonValue::Object object;
+  object.reserve(kNumCounters);
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    object.emplace_back(std::string(kCounterNames[i]), JsonValue(values[i]));
+  }
+  return JsonValue(std::move(object));
+}
+
+Snapshot snapshot() {
+  flush_thread();
+  Snapshot out;
+  auto& table = global_table();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    out.values[i] = table[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void reset() {
+  ThreadBuffer& buffer = thread_buffer();
+  buffer.values.fill(0);
+  buffer.dirty = false;
+  for (auto& slot : global_table()) {
+    slot.store(0, std::memory_order_relaxed);
+  }
+  pool_wait_histogram().reset();
+  pool_run_histogram().reset();
+  g_max_queue_depth.store(0, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(g_timings_mutex);
+  timings_map().clear();
+}
+
+}  // namespace counters
+
+void LatencyHistogram::record_ns(std::uint64_t ns) noexcept {
+  const std::size_t bucket =
+      ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns) - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_store_max(max_ns_, ns);
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::total_ns() const noexcept {
+  return total_ns_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::max_ns() const noexcept {
+  return max_ns_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(total_ns()) / static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::quantile_upper_bound_ns(
+    double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank) {
+      return i + 1 >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << (i + 1));
+    }
+  }
+  return max_ns();
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets>
+LatencyHistogram::buckets() const noexcept {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+JsonValue LatencyHistogram::to_json() const {
+  JsonValue::Object object;
+  object.reserve(6);
+  object.emplace_back("count", JsonValue(count()));
+  object.emplace_back("total_ns", JsonValue(total_ns()));
+  object.emplace_back("mean_ns", JsonValue(mean_ns()));
+  object.emplace_back("p50_ns", JsonValue(quantile_upper_bound_ns(0.50)));
+  object.emplace_back("p99_ns", JsonValue(quantile_upper_bound_ns(0.99)));
+  object.emplace_back("max_ns", JsonValue(max_ns()));
+  return JsonValue(std::move(object));
+}
+
+LatencyHistogram& pool_wait_histogram() noexcept {
+  static LatencyHistogram histogram;
+  return histogram;
+}
+
+LatencyHistogram& pool_run_histogram() noexcept {
+  static LatencyHistogram histogram;
+  return histogram;
+}
+
+void record_queue_depth(std::size_t depth) noexcept {
+  atomic_store_max(g_max_queue_depth, depth);
+}
+
+std::size_t max_queue_depth() noexcept {
+  return static_cast<std::size_t>(
+      g_max_queue_depth.load(std::memory_order_relaxed));
+}
+
+void record_heuristic_call(std::string_view name, std::uint64_t ns) {
+  const std::lock_guard<std::mutex> lock(g_timings_mutex);
+  auto& map = timings_map();
+  const auto it = map.find(name);
+  if (it == map.end()) {
+    map.emplace(std::string(name), HeuristicTiming{1, ns});
+  } else {
+    ++it->second.calls;
+    it->second.total_ns += ns;
+  }
+}
+
+std::vector<std::pair<std::string, HeuristicTiming>> heuristic_timings() {
+  const std::lock_guard<std::mutex> lock(g_timings_mutex);
+  const auto& map = timings_map();
+  return {map.begin(), map.end()};
+}
+
+}  // namespace hcsched::obs

@@ -1,0 +1,162 @@
+// Counters, timers, and latency histograms (observability pillar 2 of 3).
+//
+// Wall-clock alone is a dishonest currency for comparing heuristics (fast
+// local-search literature counts *evaluations*); this module gives the hot
+// paths cheap operation counters:
+//
+//   * Counter        — a fixed catalog of u64 counters. add() writes a
+//                      plain thread-local buffer (no atomics on the hot
+//                      path); buffers are merged into the global table when
+//                      a CounterScope exits, when the owning thread exits,
+//                      or when the calling thread snapshots.
+//   * LatencyHistogram — lock-free log2-bucketed nanosecond histograms for
+//                      thread-pool queue wait / task run latency.
+//   * per-heuristic timing registry — invocation count + total ns per
+//                      heuristic name, fed by the Heuristic NVI wrapper.
+//
+// Instrument with HCSCHED_COUNT(...), which compiles away entirely under
+// -DHCSCHED_TRACE=0 (the same kill switch as tracing). The query API is
+// always compiled so tooling builds in every configuration.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"  // HCSCHED_TRACE
+
+namespace hcsched::obs {
+
+enum class Counter : std::size_t {
+  kHeuristicInvocations = 0,  ///< Heuristic::map / map_seeded calls
+  kEtcCellEvaluations,        ///< ready + ETC(task, machine) lookups scored
+  kTieDecisions,              ///< TieBreaker choose_* calls
+  kTieEvents,                 ///< genuine ties (candidate set > 1)
+  kGaSteps,                   ///< Genitor steady-state steps
+  kGaCrossovers,              ///< Genitor crossovers applied
+  kGaMutations,               ///< Genitor mutation trials
+  kSearchNodesExpanded,       ///< A* / branch-and-bound nodes expanded
+  kIterativeRuns,             ///< IterativeMinimizer::run calls
+  kIterativeIterations,       ///< iterations across all runs
+  kPoolTasksSubmitted,        ///< ThreadPool::submit calls
+  kPoolTasksCompleted,        ///< pool tasks finished
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+/// Stable snake_case name (JSON key) of a counter.
+std::string_view to_string(Counter c) noexcept;
+
+namespace counters {
+
+/// Adds `n` to the calling thread's buffer for `c` (cheap, no atomics).
+void add(Counter c, std::uint64_t n = 1) noexcept;
+
+/// Merges the calling thread's buffer into the global table. Called
+/// automatically at thread exit and by CounterScope / snapshot().
+void flush_thread() noexcept;
+
+struct Snapshot {
+  std::array<std::uint64_t, kNumCounters> values{};
+
+  std::uint64_t operator[](Counter c) const noexcept {
+    return values[static_cast<std::size_t>(c)];
+  }
+  /// Per-counter difference (saturating at 0) versus an earlier snapshot.
+  Snapshot delta_since(const Snapshot& earlier) const noexcept;
+  /// {"counter_name": value, ...} in catalog order.
+  JsonValue to_json() const;
+};
+
+/// Flushes the calling thread, then reads the global table. Counts buffered
+/// by *other* live threads that have not flushed yet are not included.
+Snapshot snapshot();
+
+/// Zeros the global table, the calling thread's buffer, the histograms and
+/// the per-heuristic timing registry.
+void reset();
+
+/// RAII: flushes this thread's counter buffer on scope exit. Place one at
+/// the top of a worker's chunk so its counts land in the global table as
+/// soon as the chunk finishes.
+class CounterScope {
+ public:
+  CounterScope() = default;
+  ~CounterScope() { flush_thread(); }
+  CounterScope(const CounterScope&) = delete;
+  CounterScope& operator=(const CounterScope&) = delete;
+};
+
+}  // namespace counters
+
+/// Lock-free histogram over nanosecond durations with log2 buckets:
+/// bucket i counts samples in [2^i, 2^(i+1)) ns (bucket 0 includes 0).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record_ns(std::uint64_t ns) noexcept;
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t total_ns() const noexcept;
+  std::uint64_t max_ns() const noexcept;
+  double mean_ns() const noexcept;
+  /// Upper bound (ns) of the bucket containing quantile q in [0, 1]
+  /// (0 when empty). Coarse by design: log2 resolution.
+  std::uint64_t quantile_upper_bound_ns(double q) const noexcept;
+  std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+  void reset() noexcept;
+
+  /// {"count":..., "total_ns":..., "mean_ns":..., "p50_ns":..., "p99_ns":...,
+  ///  "max_ns":...}
+  JsonValue to_json() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/// Queue wait (submit -> dequeue) latency of thread-pool tasks.
+LatencyHistogram& pool_wait_histogram() noexcept;
+/// Run (dequeue -> done) latency of thread-pool tasks.
+LatencyHistogram& pool_run_histogram() noexcept;
+
+/// Thread-pool queue-depth gauge (samples taken at submit time).
+void record_queue_depth(std::size_t depth) noexcept;
+std::size_t max_queue_depth() noexcept;
+
+/// Per-heuristic timing registry, fed by the Heuristic NVI wrapper.
+struct HeuristicTiming {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+
+  double mean_ns() const noexcept {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(calls);
+  }
+};
+
+void record_heuristic_call(std::string_view name, std::uint64_t ns);
+/// (name, timing) pairs sorted by name.
+std::vector<std::pair<std::string, HeuristicTiming>> heuristic_timings();
+
+}  // namespace hcsched::obs
+
+#if HCSCHED_TRACE
+#define HCSCHED_COUNT(counter, ...) \
+  ::hcsched::obs::counters::add((counter), ##__VA_ARGS__)
+#else
+#define HCSCHED_COUNT(counter, ...) \
+  do {                              \
+  } while (0)
+#endif

@@ -1,0 +1,126 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace hcsched::obs {
+
+namespace {
+
+// The active sink is read on every emit from any thread; the atomic flag
+// keeps the inactive fast path lock-free while installs stay rare.
+std::mutex g_sink_mutex;
+std::shared_ptr<TraceSink> g_sink;                 // guarded by g_sink_mutex
+std::atomic<bool> g_active{false};
+std::atomic<std::uint64_t> g_sequence{0};
+
+}  // namespace
+
+JsonValue TraceEvent::to_json() const {
+  JsonValue::Object object;
+  object.reserve(fields.size() + 2);
+  object.emplace_back("seq", JsonValue(sequence));
+  object.emplace_back("event", JsonValue(name));
+  for (const auto& field : fields) object.push_back(field);
+  return JsonValue(std::move(object));
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingBufferSink::consume(const TraceEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (buffer_.size() == capacity_) {
+    buffer_.pop_front();
+    ++dropped_;
+  }
+  buffer_.push_back(event);
+}
+
+std::vector<TraceEvent> RingBufferSink::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {buffer_.begin(), buffer_.end()};
+}
+
+std::vector<TraceEvent> RingBufferSink::events_named(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : buffer_) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t RingBufferSink::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return buffer_.size();
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void RingBufferSink::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.clear();
+  dropped_ = 0;
+}
+
+JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(path, std::ios::trunc), out_(&owned_) {
+  if (!owned_) {
+    throw std::invalid_argument("JsonlSink: cannot open '" + path + "'");
+  }
+}
+
+void JsonlSink::consume(const TraceEvent& event) {
+  const std::string line = event.to_json().dump();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  *out_ << line << '\n';
+}
+
+void JsonlSink::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out_->flush();
+}
+
+void Tracer::install(std::shared_ptr<TraceSink> sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+  g_active.store(g_sink != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<TraceSink> Tracer::sink() {
+  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  return g_sink;
+}
+
+bool Tracer::active() noexcept {
+  return g_active.load(std::memory_order_relaxed);
+}
+
+void Tracer::emit(std::string_view name, JsonValue::Object fields) {
+  // Hold a reference so a concurrent install() cannot destroy the sink
+  // mid-consume.
+  std::shared_ptr<TraceSink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    sink = g_sink;
+  }
+  if (!sink) return;
+  TraceEvent event;
+  event.sequence = g_sequence.fetch_add(1, std::memory_order_relaxed);
+  event.name.assign(name);
+  event.fields = std::move(fields);
+  sink->consume(event);
+}
+
+void Tracer::flush() {
+  if (const auto sink = Tracer::sink()) sink->flush();
+}
+
+}  // namespace hcsched::obs

@@ -1,0 +1,157 @@
+// Structured event tracing (observability pillar 1 of 3).
+//
+// Instrumented code emits named events whose payload is an ordered set of
+// JSON fields; a process-global Tracer forwards them to a pluggable sink:
+//
+//   * JsonlSink      — one compact JSON object per line (the JSONL format
+//                      consumed by jq / pandas / the `report` subcommand),
+//   * RingBufferSink — bounded in-memory capture for tests and examples,
+//   * NullSink       — swallow everything (useful to measure emit cost).
+//
+// Call sites use HCSCHED_TRACE_EVENT(name, {fields...}) which
+//   1. compiles to *nothing* when the library is built with
+//      -DHCSCHED_TRACE=0 (the compile-time kill switch; bench_trace_overhead
+//      guards this configuration), and
+//   2. otherwise checks a relaxed atomic flag before building the payload,
+//      so an uninstalled tracer costs one predictable branch per site.
+//
+// Events carry a process-wide sequence number so multi-threaded captures can
+// be ordered after the fact. Sinks serialize their own access; Tracer::emit
+// may be called from any thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+#ifndef HCSCHED_TRACE
+#define HCSCHED_TRACE 1
+#endif
+
+namespace hcsched::obs {
+
+/// Whether trace call sites were compiled in.
+inline constexpr bool kTraceCompiledIn = HCSCHED_TRACE != 0;
+
+struct TraceEvent {
+  std::uint64_t sequence = 0;  ///< process-wide, assigned by the Tracer
+  std::string name{};          ///< dotted event type, e.g. "iterative.iteration"
+  JsonValue::Object fields{};  ///< ordered payload
+
+  /// The event as one JSON object: {"seq": ..., "event": ..., <fields>}.
+  JsonValue to_json() const;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void consume(const TraceEvent& event) = 0;
+  virtual void flush() {}
+};
+
+/// Discards every event (measures pure emit overhead).
+class NullSink final : public TraceSink {
+ public:
+  void consume(const TraceEvent&) override {}
+};
+
+/// Bounded FIFO capture; oldest events are dropped past `capacity`.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+
+  void consume(const TraceEvent& event) override;
+
+  /// Snapshot of the buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+  /// Buffered events with the given name, oldest first.
+  std::vector<TraceEvent> events_named(std::string_view name) const;
+  std::size_t size() const;
+  /// Events evicted because the buffer was full.
+  std::uint64_t dropped() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_{};
+  std::deque<TraceEvent> buffer_{};
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Writes one compact JSON line per event (JSON Lines).
+class JsonlSink final : public TraceSink {
+ public:
+  /// Borrows `out`; the stream must outlive the sink.
+  explicit JsonlSink(std::ostream& out);
+  /// Opens (truncates) `path`; throws std::invalid_argument on failure.
+  explicit JsonlSink(const std::string& path);
+
+  void consume(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  std::mutex mutex_{};
+  std::ofstream owned_{};
+  std::ostream* out_;
+};
+
+/// Process-global event router. install() swaps the active sink (nullptr
+/// deactivates tracing); active() is the cheap fast-path check used by the
+/// HCSCHED_TRACE_EVENT macro.
+class Tracer {
+ public:
+  static void install(std::shared_ptr<TraceSink> sink);
+  static std::shared_ptr<TraceSink> sink();
+  static bool active() noexcept;
+  /// Stamps a sequence number and forwards to the installed sink (no-op when
+  /// inactive). Prefer the macro over calling this directly.
+  static void emit(std::string_view name, JsonValue::Object fields);
+  /// Flushes the installed sink, if any.
+  static void flush();
+
+  Tracer() = delete;
+};
+
+/// RAII: installs `sink` for the current scope, restoring the previous sink
+/// on exit. Used by tests and the CLI.
+class ScopedSink {
+ public:
+  explicit ScopedSink(std::shared_ptr<TraceSink> sink)
+      : previous_(Tracer::sink()) {
+    Tracer::install(std::move(sink));
+  }
+  ~ScopedSink() {
+    Tracer::flush();
+    Tracer::install(std::move(previous_));
+  }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+
+ private:
+  std::shared_ptr<TraceSink> previous_;
+};
+
+}  // namespace hcsched::obs
+
+#if HCSCHED_TRACE
+/// Emits a structured trace event when a sink is installed. The payload
+/// expression is only evaluated on the active path.
+#define HCSCHED_TRACE_EVENT(name, ...)                  \
+  do {                                                  \
+    if (::hcsched::obs::Tracer::active()) {             \
+      ::hcsched::obs::Tracer::emit((name), __VA_ARGS__); \
+    }                                                   \
+  } while (0)
+#else
+#define HCSCHED_TRACE_EVENT(name, ...) \
+  do {                                 \
+  } while (0)
+#endif

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+
 namespace hcsched::rng {
 
 std::size_t TieBreaker::choose_min(std::span<const double> scores) {
@@ -36,9 +38,11 @@ std::size_t TieBreaker::choose_among(std::span<const std::size_t> tied_set) {
 }
 
 std::size_t TieBreaker::resolve(const std::vector<std::size_t>& ties) {
+  HCSCHED_COUNT(obs::Counter::kTieDecisions);
   if (ties.empty()) return npos;
   if (ties.size() == 1) return ties.front();
   ++tie_events_;
+  HCSCHED_COUNT(obs::Counter::kTieEvents);
   switch (policy_) {
     case TiePolicy::kDeterministic:
       return ties.front();

@@ -5,6 +5,9 @@
 
 #include "core/iterative.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "sched/metrics.hpp"
 
 namespace hcsched::sim {
 
@@ -21,7 +24,9 @@ std::vector<StudyRow> run_iterative_study(const StudyParams& params,
 
   pool.parallel_for_chunks(
       params.trials, [&](std::size_t begin, std::size_t end) {
-        // Thread-local accumulators, merged once per chunk.
+        // Thread-local accumulators, merged once per chunk; operation
+        // counters land in the global table when the scope exits.
+        const obs::counters::CounterScope counter_scope;
         std::vector<StudyRow> local(rows.size());
         // Heuristic instances are stateless across trials (Genitor carries
         // only last-run stats), so construct once per chunk.
@@ -81,6 +86,21 @@ std::vector<StudyRow> run_iterative_study(const StudyParams& params,
                                             orig_sum);
             }
             if (result.makespan_increased()) ++row.makespan_increases;
+            // Per-trial report: one event per (trial, heuristic) run with
+            // the makespan transition and balance-index delta.
+            HCSCHED_TRACE_EVENT(
+                "study.trial",
+                {{"heuristic", obs::JsonValue(row.heuristic)},
+                 {"trial", obs::JsonValue(trial)},
+                 {"original_makespan",
+                  obs::JsonValue(result.original().makespan)},
+                 {"final_makespan", obs::JsonValue(result.final_makespan())},
+                 {"makespan_increased",
+                  obs::JsonValue(result.makespan_increased())},
+                 {"original_balance_index",
+                  obs::JsonValue(sched::load_balance_index(original))},
+                 {"iterations",
+                  obs::JsonValue(result.iterations.size())}});
           }
         }
 

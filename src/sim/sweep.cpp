@@ -1,5 +1,7 @@
 #include "sim/sweep.hpp"
 
+#include "obs/trace.hpp"
+
 namespace hcsched::sim {
 
 std::vector<SweepPoint> standard_sweep() {
@@ -41,6 +43,12 @@ std::vector<SweepResult> run_sweep(const StudyParams& base,
     params.consistency = point.consistency;
     params.cvb.v_task = point.v_task;
     params.cvb.v_machine = point.v_machine;
+    HCSCHED_TRACE_EVENT(
+        "sweep.point",
+        {{"label", obs::JsonValue(point.label)},
+         {"v_task", obs::JsonValue(point.v_task)},
+         {"v_machine", obs::JsonValue(point.v_machine)},
+         {"trials", obs::JsonValue(params.trials)}});
     SweepResult r;
     r.point = point;
     r.rows = run_iterative_study(params, pool);

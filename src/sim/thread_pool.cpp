@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/counters.hpp"
+
+#if HCSCHED_TRACE
+#include <chrono>
+#endif
+
 namespace hcsched::sim {
+
+#if HCSCHED_TRACE
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  const auto d = std::chrono::steady_clock::now() - since;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+#endif
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -24,11 +42,27 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> job) {
+#if HCSCHED_TRACE
+  // Wrap the job to measure queue wait (submit -> start) and run latency.
+  obs::counters::add(obs::Counter::kPoolTasksSubmitted);
+  const auto enqueued = std::chrono::steady_clock::now();
+  std::packaged_task<void()> task([job = std::move(job), enqueued] {
+    obs::pool_wait_histogram().record_ns(elapsed_ns(enqueued));
+    const auto started = std::chrono::steady_clock::now();
+    job();
+    obs::pool_run_histogram().record_ns(elapsed_ns(started));
+    obs::counters::add(obs::Counter::kPoolTasksCompleted);
+  });
+#else
   std::packaged_task<void()> task(std::move(job));
+#endif
   std::future<void> future = task.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+#if HCSCHED_TRACE
+    obs::record_queue_depth(queue_.size());
+#endif
   }
   cv_.notify_one();
   return future;
@@ -53,6 +87,8 @@ void ThreadPool::parallel_for_chunks(
 }
 
 void ThreadPool::worker_loop() {
+  // Merge this worker's counter buffer into the global table after each
+  // task, so studies read complete totals without waiting for pool teardown.
   for (;;) {
     std::packaged_task<void()> task;
     {
@@ -63,6 +99,9 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     task();
+#if HCSCHED_TRACE
+    obs::counters::flush_thread();
+#endif
   }
 }
 

@@ -1,0 +1,140 @@
+// Operation counters and latency histograms: thread-local buffers must be
+// additive across pool threads, the NVI wrapper must count heuristic
+// invocations, and the log2 histograms must bound their quantiles.
+//
+// Counter tests reset global state, so they would race any concurrently
+// counting test; gtest runs tests in one thread, and the pools joined here
+// flush before assertions read the table.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/paper_examples.hpp"
+#include "heuristics/registry.hpp"
+#include "obs/counters.hpp"
+#include "rng/tie_break.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using namespace hcsched;
+
+TEST(Counters, AdditiveAcrossPoolThreads) {
+  obs::counters::reset();
+  constexpr std::uint64_t kJobs = 64;
+  constexpr std::uint64_t kPerJob = 3;
+  {
+    sim::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kJobs);
+    for (std::uint64_t i = 0; i < kJobs; ++i) {
+      futures.push_back(pool.submit(
+          [] { obs::counters::add(obs::Counter::kGaSteps, kPerJob); }));
+    }
+    for (auto& f : futures) f.get();
+  }  // joining the pool flushes every worker's buffer
+
+  const auto snap = obs::counters::snapshot();
+  EXPECT_EQ(snap[obs::Counter::kGaSteps], kJobs * kPerJob);
+  if (obs::kTraceCompiledIn) {
+    EXPECT_EQ(snap[obs::Counter::kPoolTasksSubmitted], kJobs);
+    EXPECT_EQ(snap[obs::Counter::kPoolTasksCompleted], kJobs);
+    EXPECT_GE(obs::pool_wait_histogram().count(), kJobs);
+    EXPECT_GE(obs::pool_run_histogram().count(), kJobs);
+  }
+}
+
+TEST(Counters, HeuristicInvocationsCountedThroughNvi) {
+  if (!obs::kTraceCompiledIn) {
+    GTEST_SKIP() << "library built with HCSCHED_TRACE=0";
+  }
+  obs::counters::reset();
+  const auto ex = core::minmin_example();
+  const auto heuristic = heuristics::make_heuristic(ex.heuristic);
+  const sched::Problem problem = sched::Problem::full(*ex.matrix);
+  rng::TieBreaker ties;
+  heuristic->map(problem, ties);
+  heuristic->map(problem, ties);
+
+  const auto snap = obs::counters::snapshot();
+  EXPECT_EQ(snap[obs::Counter::kHeuristicInvocations], 2u);
+  EXPECT_GT(snap[obs::Counter::kEtcCellEvaluations], 0u);
+  EXPECT_GT(snap[obs::Counter::kTieDecisions], 0u);
+
+  bool found = false;
+  for (const auto& [name, timing] : obs::heuristic_timings()) {
+    if (name == "Min-Min") {
+      found = true;
+      EXPECT_EQ(timing.calls, 2u);
+      EXPECT_GT(timing.mean_ns(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Counters, IterativeRunCountsIterations) {
+  if (!obs::kTraceCompiledIn) {
+    GTEST_SKIP() << "library built with HCSCHED_TRACE=0";
+  }
+  obs::counters::reset();
+  const auto result = core::run_paper_example(core::minmin_example());
+  const auto snap = obs::counters::snapshot();
+  EXPECT_EQ(snap[obs::Counter::kIterativeRuns], 1u);
+  EXPECT_EQ(snap[obs::Counter::kIterativeIterations],
+            result.iterations.size());
+}
+
+TEST(Counters, SnapshotDeltaSaturatesAtZero) {
+  obs::counters::reset();
+  obs::counters::add(obs::Counter::kGaMutations, 5);
+  const auto before = obs::counters::snapshot();
+  obs::counters::add(obs::Counter::kGaMutations, 2);
+  const auto after = obs::counters::snapshot();
+
+  EXPECT_EQ(after.delta_since(before)[obs::Counter::kGaMutations], 2u);
+  // Reversed order saturates instead of wrapping.
+  EXPECT_EQ(before.delta_since(after)[obs::Counter::kGaMutations], 0u);
+}
+
+TEST(Counters, SnapshotSerializesEveryCounter) {
+  obs::counters::reset();
+  obs::counters::add(obs::Counter::kSearchNodesExpanded, 7);
+  const auto json = obs::counters::snapshot().to_json();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_EQ(json.as_object().size(), obs::kNumCounters);
+  EXPECT_DOUBLE_EQ(json.at("search_nodes_expanded").as_number(), 7.0);
+}
+
+TEST(LatencyHistogram, BucketsBoundQuantilesAndMax) {
+  obs::LatencyHistogram hist;
+  hist.record_ns(0);
+  hist.record_ns(10);
+  hist.record_ns(1000);
+  hist.record_ns(1'000'000);
+
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.total_ns(), 1'001'010u);
+  EXPECT_EQ(hist.max_ns(), 1'000'000u);
+  EXPECT_DOUBLE_EQ(hist.mean_ns(), 1'001'010.0 / 4.0);
+  // The p100 bucket upper bound must cover the max sample; p0 covers the min.
+  EXPECT_GE(hist.quantile_upper_bound_ns(1.0), 1'000'000u);
+  EXPECT_LE(hist.quantile_upper_bound_ns(0.0), 16u);
+
+  hist.reset();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.quantile_upper_bound_ns(0.5), 0u);
+}
+
+TEST(LatencyHistogram, JsonSnapshotHasStableKeys) {
+  obs::LatencyHistogram hist;
+  hist.record_ns(128);
+  const auto json = hist.to_json();
+  for (const char* key :
+       {"count", "total_ns", "mean_ns", "p50_ns", "p99_ns", "max_ns"}) {
+    EXPECT_NE(json.find(key), nullptr) << key;
+  }
+  EXPECT_DOUBLE_EQ(json.at("count").as_number(), 1.0);
+}
+
+}  // namespace

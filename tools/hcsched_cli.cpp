@@ -8,6 +8,8 @@
 //                        [--seed S]
 //   hcsched_cli iterate  --etc FILE --heuristic NAME [--ties det|random]
 //                        [--seed S] [--no-seeding]
+//   hcsched_cli report   --etc FILE --heuristic NAME [--ties det|random]
+//                        [--seed S] [--no-seeding] [--json]
 //   hcsched_cli study    [--trials N] [--tasks N] [--machines M]
 //                        [--ties det|random] [--seed S]
 //   hcsched_cli witness  --heuristic NAME [--tasks N] [--machines M]
@@ -16,11 +18,17 @@
 //   hcsched_cli online   --etc FILE [--policy mct|met|olb|kpb|swa]
 //                        [--count N] [--mean-gap X] [--seed S]
 //
+// Global flags (any subcommand):
+//   --trace FILE.jsonl   stream structured events (JSON Lines) to FILE
+//   --version / -V       print the version and exit
+//
 // Exit status: 0 on success, 1 on bad usage or (witness) not found.
+// Usage/help goes to stdout for `help`, stderr on error paths.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,10 +41,16 @@
 #include "etc/etc_io.hpp"
 #include "etc/range_generator.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/online.hpp"
+
+#ifndef HCSCHED_CLI_VERSION
+#define HCSCHED_CLI_VERSION "0.0.0-dev"
+#endif
 
 namespace {
 
@@ -53,7 +67,7 @@ class Args {
         return;
       }
       key = key.substr(2);
-      if (key == "no-seeding") {  // boolean flag
+      if (key == "no-seeding" || key == "json") {  // boolean flags
         values_[key] = "true";
         continue;
       }
@@ -89,13 +103,19 @@ class Args {
   std::string error_{};
 };
 
-int usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: hcsched_cli "
-      "<list|generate|map|iterate|study|witness|optimal|online> "
+      "<list|generate|map|iterate|report|study|witness|optimal|online> "
       "[--flags]\n"
+      "global flags: --trace FILE.jsonl (stream structured events), "
+      "--version\n"
       "see the header of tools/hcsched_cli.cpp for the full flag list\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 1;
 }
 
@@ -219,6 +239,30 @@ int cmd_iterate(const Args& args) {
   return 0;
 }
 
+int cmd_report(const Args& args) {
+  const etc::EtcMatrix matrix = load_etc(args);
+  const auto name = args.get("heuristic");
+  if (!name) throw std::invalid_argument("--heuristic NAME is required");
+  const auto heuristic = heuristics::make_heuristic(*name);
+  rng::Rng rng(static_cast<std::uint64_t>(args.get_ll("seed", 1)));
+  rng::TieBreaker ties = make_ties(args, rng);
+
+  core::IterativeOptions options;
+  options.use_seeding = !args.get("no-seeding").has_value();
+  obs::counters::reset();  // report deltas for this run only
+  const auto result = core::IterativeMinimizer{options}.run(
+      *heuristic, sched::Problem::full(matrix), ties);
+
+  const obs::RunReport report =
+      obs::build_run_report(heuristic->name(), result);
+  if (args.get("json")) {
+    std::printf("%s\n", obs::to_json(report).dump(2).c_str());
+  } else {
+    std::printf("%s", obs::to_text(report).c_str());
+  }
+  return 0;
+}
+
 int cmd_study(const Args& args) {
   sim::StudyParams params;
   params.heuristics = {"MET",       "MCT", "Min-Min", "Genitor", "SWA",
@@ -325,16 +369,39 @@ int cmd_online(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "-V" || command == "version") {
+    std::printf("hcsched_cli %s (trace instrumentation %s)\n",
+                HCSCHED_CLI_VERSION,
+                obs::kTraceCompiledIn ? "compiled in" : "compiled out");
+    return 0;
+  }
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(stdout);
+    return 0;
+  }
   const Args args(argc, argv, 2);
   if (!args.error().empty()) {
     std::fprintf(stderr, "error: %s\n", args.error().c_str());
     return usage();
   }
+
+  // Install the JSONL trace sink (if requested) before dispatching so every
+  // subcommand streams its events; the scoped sink flushes on exit.
+  std::optional<obs::ScopedSink> trace_scope;
   try {
+    if (const auto trace_path = args.get("trace")) {
+      if (!obs::kTraceCompiledIn) {
+        std::fprintf(stderr,
+                     "warning: built with HCSCHED_TRACE=0; --trace will "
+                     "produce no events\n");
+      }
+      trace_scope.emplace(std::make_shared<obs::JsonlSink>(*trace_path));
+    }
     if (command == "list") return cmd_list();
     if (command == "generate") return cmd_generate(args);
     if (command == "map") return cmd_map(args);
     if (command == "iterate") return cmd_iterate(args);
+    if (command == "report") return cmd_report(args);
     if (command == "study") return cmd_study(args);
     if (command == "witness") return cmd_witness(args);
     if (command == "optimal") return cmd_optimal(args);
