@@ -1,0 +1,65 @@
+#include "core/check.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace hcsched::check {
+
+namespace {
+
+void default_handler(const Violation& v) {
+  const std::string text = format_violation(v);
+  std::fputs(text.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+std::atomic<Handler> g_handler{nullptr};  // nullptr = default_handler
+
+const char* kind_upper(const char* kind) {
+  // The catalog is closed; map to the uppercase spelling used in diagnostics.
+  const std::string_view k(kind);
+  if (k == "precondition") return "PRECONDITION";
+  if (k == "invariant") return "INVARIANT";
+  if (k == "unreachable") return "UNREACHABLE";
+  return kind;
+}
+
+}  // namespace
+
+std::string format_violation(const Violation& v) {
+  std::string out = "hcsched: ";
+  out += kind_upper(v.kind);
+  if (v.expression != nullptr && v.expression[0] != '\0') {
+    out += " violated: ";
+    out += v.expression;
+  } else {
+    out += " reached";
+  }
+  out += "\n  at ";
+  out += v.file;
+  out += ':';
+  out += std::to_string(v.line);
+  out += " in ";
+  out += v.function;
+  if (!v.message.empty()) {
+    out += "\n  ";
+    out += v.message;
+  }
+  return out;
+}
+
+Handler set_failure_handler(Handler handler) noexcept {
+  return g_handler.exchange(handler, std::memory_order_acq_rel);
+}
+
+void fail(const Violation& v) {
+  Handler handler = g_handler.load(std::memory_order_acquire);
+  if (handler == nullptr) handler = default_handler;
+  handler(v);  // may throw (test handlers) ...
+  std::abort();  // ... but must not return.
+}
+
+}  // namespace hcsched::check

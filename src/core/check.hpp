@@ -1,0 +1,137 @@
+// Contract checks: machine-checked preconditions and invariants.
+//
+// The scheduler's core invariants (every task assigned exactly once, frozen
+// completion times never move, no out-of-range ids) were previously comment
+// assertions; this header turns them into executable checks:
+//
+//   HCSCHED_PRECONDITION(cond, msg...)  — caller-supplied inputs
+//   HCSCHED_INVARIANT(cond, msg...)     — internal consistency
+//   HCSCHED_UNREACHABLE(msg...)         — control flow that must not happen
+//
+// The trailing message arguments are optional and are streamed together
+// (ostream <<) only on the failure path, so a check site costs one compare
+// and a cold branch. Checks are compiled in when HCSCHED_CHECK_ENABLED is 1
+// (CMake: -DHCSCHED_CHECKS=ON, AUTO follows Debug); in Release they compile
+// to nothing — the condition is NOT evaluated, and HCSCHED_UNREACHABLE
+// lowers to __builtin_unreachable() so the optimizer can exploit it.
+//
+// Contract checks are for bugs *inside* this library. API misuse that
+// callers are documented to be able to trigger (Schedule::assign on a
+// foreign task, EtcMatrix::at out of range, ...) keeps throwing exceptions
+// in every build type; those paths are part of the public contract and are
+// covered by tests.
+//
+// On violation the installed failure handler receives a Violation record;
+// the default handler prints the formatted diagnostic to stderr and aborts.
+// Tests install a throwing handler (see tests/test_check.cpp) to assert on
+// the diagnostic without forking a death test.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#ifndef HCSCHED_CHECK_ENABLED
+#ifdef NDEBUG
+#define HCSCHED_CHECK_ENABLED 0
+#else
+#define HCSCHED_CHECK_ENABLED 1
+#endif
+#endif
+
+namespace hcsched::check {
+
+/// Whether contract-check sites were compiled in.
+inline constexpr bool kChecksCompiledIn = HCSCHED_CHECK_ENABLED != 0;
+
+/// One contract violation, as handed to the failure handler.
+struct Violation {
+  const char* kind = "";        ///< "precondition" | "invariant" | "unreachable"
+  const char* expression = "";  ///< stringized condition ("" for unreachable)
+  const char* file = "";
+  long line = 0;
+  const char* function = "";
+  std::string message{};  ///< streamed user detail, possibly empty
+};
+
+/// The canonical multi-line diagnostic:
+///
+///   hcsched: PRECONDITION violated: task >= 0
+///     at src/sched/schedule.cpp:42 in assign
+///     task id -3 out of range
+///
+/// (third line only when a message was supplied).
+std::string format_violation(const Violation& v);
+
+using Handler = void (*)(const Violation&);
+
+/// Installs a failure handler, returning the previous one. nullptr restores
+/// the default print-to-stderr-and-abort handler. Thread-safe.
+Handler set_failure_handler(Handler handler) noexcept;
+
+/// Routes `v` to the installed handler; aborts if the handler returns
+/// (a handler may instead throw, which is how tests observe violations).
+[[noreturn]] void fail(const Violation& v);
+
+namespace detail {
+
+inline std::string format_message() { return {}; }
+
+template <typename... Args>
+std::string format_message(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+[[noreturn]] inline void unreachable_hint() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_unreachable();
+#else
+  for (;;) {
+  }
+#endif
+}
+
+}  // namespace detail
+
+}  // namespace hcsched::check
+
+#if HCSCHED_CHECK_ENABLED
+
+#define HCSCHED_CHECK_IMPL_(kind_, cond_, ...)                         \
+  do {                                                                 \
+    if (!(cond_)) [[unlikely]] {                                       \
+      ::hcsched::check::fail(::hcsched::check::Violation{              \
+          kind_, #cond_, __FILE__, __LINE__, __func__,                 \
+          ::hcsched::check::detail::format_message(__VA_ARGS__)});     \
+    }                                                                  \
+  } while (0)
+
+#define HCSCHED_PRECONDITION(cond, ...) \
+  HCSCHED_CHECK_IMPL_("precondition", cond __VA_OPT__(, ) __VA_ARGS__)
+
+#define HCSCHED_INVARIANT(cond, ...) \
+  HCSCHED_CHECK_IMPL_("invariant", cond __VA_OPT__(, ) __VA_ARGS__)
+
+#define HCSCHED_UNREACHABLE(...)                                   \
+  ::hcsched::check::fail(::hcsched::check::Violation{              \
+      "unreachable", "", __FILE__, __LINE__, __func__,             \
+      ::hcsched::check::detail::format_message(__VA_ARGS__)})
+
+#else  // HCSCHED_CHECK_ENABLED
+
+// Compiled out: the condition is parsed (sizeof keeps names odr-unused and
+// silences unused-variable warnings) but never evaluated.
+#define HCSCHED_PRECONDITION(cond, ...) \
+  do {                                  \
+    (void)sizeof(!(cond));              \
+  } while (0)
+
+#define HCSCHED_INVARIANT(cond, ...) \
+  do {                               \
+    (void)sizeof(!(cond));           \
+  } while (0)
+
+#define HCSCHED_UNREACHABLE(...) ::hcsched::check::detail::unreachable_hint()
+
+#endif  // HCSCHED_CHECK_ENABLED

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/check.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sched/metrics.hpp"
@@ -104,6 +105,10 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
         return;
       }
     }
+    // Every frozen machine comes from a Problem derived from the original,
+    // so it must appear in the table seeded above.
+    HCSCHED_UNREACHABLE("machine ", machine,
+                        " frozen but absent from the original problem");
   };
 
   Problem current = problem;
@@ -119,6 +124,11 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
     record.makespan = record.schedule.makespan();
     record.makespan_machine =
         record.schedule.makespan_machine(options_.epsilon);
+    // Heuristics must return complete mappings: every task of the (current,
+    // possibly shrunk) problem assigned exactly once.
+    HCSCHED_INVARIANT(record.schedule.complete(), "iteration ", index,
+                      " mapped ", record.schedule.num_assigned(), " of ",
+                      current.num_tasks(), " tasks");
     result.iterations.push_back(std::move(record));
     const IterationRecord& done = result.iterations.back();
     HCSCHED_COUNT(obs::Counter::kIterativeIterations);
@@ -144,6 +154,15 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
         done.schedule.tasks_on(done.makespan_machine);
     current = done.problem().without_machine(done.makespan_machine,
                                              removed_tasks);
+    // Each round removes exactly the makespan machine and exactly its tasks.
+    HCSCHED_INVARIANT(
+        current.num_machines() == done.problem().num_machines() - 1,
+        "iteration ", index, " removed ",
+        done.problem().num_machines() - current.num_machines(), " machines");
+    HCSCHED_INVARIANT(
+        current.num_tasks() == done.problem().num_tasks() -
+                                   removed_tasks.size(),
+        "iteration ", index, " dropped tasks not on the frozen machine");
     ++index;
 
     // Seed for the next iteration: the just-produced mapping restricted to
@@ -192,6 +211,8 @@ Schedule restrict_schedule(const Schedule& previous, const Problem& problem) {
     }
     out.assign(t, *machine);
   }
+  HCSCHED_INVARIANT(out.complete(), "restriction mapped ", out.num_assigned(),
+                    " of ", problem.num_tasks(), " surviving tasks");
   return out;
 }
 

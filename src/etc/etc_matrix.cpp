@@ -23,6 +23,9 @@ EtcMatrix EtcMatrix::from_rows(const std::vector<std::vector<double>>& rows) {
     }
     m.values_.insert(m.values_.end(), r.begin(), r.end());
   }
+  HCSCHED_INVARIANT(m.values_.size() == m.tasks_ * m.machines_,
+                    "dense storage holds ", m.values_.size(), " cells for a ",
+                    m.tasks_, "x", m.machines_, " matrix");
   return m;
 }
 

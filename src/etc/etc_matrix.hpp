@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "core/check.hpp"
+
 namespace hcsched::etc {
 
 using TaskId = std::int32_t;
@@ -47,8 +49,12 @@ class EtcMatrix {
     return values_[index(task, machine)];
   }
 
-  /// The ETC row of one task across all machines.
+  /// The ETC row of one task across all machines. Unlike at(), this is an
+  /// internal hot-path accessor: callers must pass an in-range task id.
   std::span<const double> row(TaskId task) const {
+    HCSCHED_PRECONDITION(
+        task >= 0 && static_cast<std::size_t>(task) < tasks_, "task id ",
+        task, " outside 0..", tasks_);
     return std::span<const double>(values_)
         .subspan(static_cast<std::size_t>(task) * machines_, machines_);
   }

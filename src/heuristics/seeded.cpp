@@ -1,7 +1,9 @@
 #include "heuristics/seeded.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "core/check.hpp"
 #include "heuristics/registry.hpp"
 
 namespace hcsched::heuristics {
@@ -25,8 +27,14 @@ Schedule Seeded::do_map_seeded(const Problem& problem, TieBreaker& ties,
   if (seed == nullptr) return fresh;
   // The incumbent wins ties — the mapping changes only when strictly
   // better, exactly the preservation argument of paper §5.
-  return fresh.makespan() < seed->makespan() ? std::move(fresh)
-                                             : Schedule(*seed);
+  Schedule out = fresh.makespan() < seed->makespan() ? std::move(fresh)
+                                                     : Schedule(*seed);
+  // §5 monotonicity guarantee: keeping the incumbent as a candidate bounds
+  // the result by the seed's makespan in every case.
+  HCSCHED_INVARIANT(out.makespan() <= seed->makespan(),
+                    "seeded result makespan ", out.makespan(),
+                    " exceeds incumbent ", seed->makespan());
+  return out;
 }
 
 std::unique_ptr<Heuristic> make_seeded(std::string_view inner_name) {

@@ -13,6 +13,10 @@
 // makes the iterative technique monotone for ANY inner heuristic — verified
 // as a property test over every registered heuristic in test_seeded.cpp and
 // quantified by bench_seeding_ablation.
+//
+// Seeded is a wrapper combinator constructed around an inner heuristic, not
+// a heuristic with its own name-based registry entry:
+// hcsched-lint: allow(heuristic-registry)
 #pragma once
 
 #include <memory>

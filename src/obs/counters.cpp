@@ -9,6 +9,15 @@ namespace hcsched::obs {
 
 namespace {
 
+// Memory-order audit (PR 2, verified by the TSan stress suite): every
+// atomic here is a monotone statistical accumulator — no load establishes
+// an ordering that later non-atomic reads depend on — so relaxed ordering
+// is correct throughout. Cross-thread visibility of the *buffered* values
+// is provided by thread join / CounterScope destruction, not by these
+// atomics. Totals across {count_, total_ns_, buckets_} are only mutually
+// consistent once writers are quiescent; snapshot() documents the same for
+// unflushed buffers.
+
 // Global table. Atomics receive whole thread-local buffers at flush time, so
 // contention is proportional to flush frequency, not to add() frequency.
 std::array<std::atomic<std::uint64_t>, kNumCounters>& global_table() {

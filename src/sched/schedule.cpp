@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/check.hpp"
+
 namespace hcsched::sched {
 
 namespace {
@@ -55,10 +57,16 @@ double Schedule::assign(TaskId task, MachineId machine) {
   a.machine = machine;
   a.start = ready_[slot];
   a.finish = a.start + problem_.matrix().at(task, machine);
+  // Machine completion times only ever grow as tasks are appended (ETC
+  // entries are non-negative execution-time estimates).
+  HCSCHED_INVARIANT(a.finish >= a.start, "task ", task, " on machine ",
+                    machine, " has negative ETC ", a.finish - a.start);
   ready_[slot] = a.finish;
   queues_[slot].push_back(a);
   order_.push_back(a);
   machine_by_task_[static_cast<std::size_t>(task)] = machine;
+  HCSCHED_INVARIANT(order_.size() <= problem_.num_tasks(),
+                    "more assignments than problem tasks");
   return a.finish;
 }
 
@@ -98,6 +106,10 @@ MachineId Schedule::makespan_machine(double epsilon) const {
       if (best < 0 || id < best) best = id;
     }
   }
+  // The makespan machine itself is always within any epsilon >= 0 of the
+  // makespan, so the scan must have selected someone.
+  HCSCHED_INVARIANT(best >= 0, "no machine within ", epsilon,
+                    " of makespan ", span);
   return best;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <string>
 
+#include "core/check.hpp"
+
 namespace hcsched::sched {
 
 namespace {
@@ -12,6 +14,9 @@ bool close(double a, double b, double eps) { return std::fabs(a - b) <= eps; }
 }  // namespace
 
 std::vector<std::string> validate(const Schedule& s, double epsilon) {
+  HCSCHED_PRECONDITION(epsilon >= 0.0 && std::isfinite(epsilon),
+                       "tolerance must be a non-negative finite value, got ",
+                       epsilon);
   std::vector<std::string> errors;
   const Problem& p = s.problem();
 

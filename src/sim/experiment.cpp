@@ -3,6 +3,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "core/iterative.hpp"
 #include "heuristics/registry.hpp"
 #include "obs/counters.hpp"
@@ -105,6 +106,9 @@ std::vector<StudyRow> run_iterative_study(const StudyParams& params,
         }
 
         const std::lock_guard<std::mutex> lock(merge_mutex);
+        HCSCHED_INVARIANT(local.size() == rows.size(),
+                          "chunk accumulated ", local.size(),
+                          " heuristic rows, study has ", rows.size());
         for (std::size_t h = 0; h < rows.size(); ++h) {
           rows[h].trials += local[h].trials;
           rows[h].machines_improved += local[h].machines_improved;

@@ -1,7 +1,9 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
+#include "core/check.hpp"
 #include "obs/counters.hpp"
 
 #if HCSCHED_TRACE
@@ -71,6 +73,7 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::parallel_for_chunks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  HCSCHED_PRECONDITION(body != nullptr, "chunk body must be callable");
   const std::size_t chunks = std::min(n, size());
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
@@ -83,7 +86,23 @@ void ThreadPool::parallel_for_chunks(
     futures.push_back(submit([&body, begin, end] { body(begin, end); }));
     begin = end;
   }
-  for (auto& f : futures) f.get();  // rethrows the first failure
+  // The chunks partition [0, n): disjoint by construction, and together
+  // they must cover the whole index range.
+  HCSCHED_INVARIANT(begin == n, "chunking covered ", begin, " of ", n,
+                    " indices");
+  // Wait for EVERY chunk before returning, even after a failure: queued
+  // chunks capture `body` by reference, so returning early would leave jobs
+  // holding a dangling reference to the caller's function object (found by
+  // the TSan stress suite). The first exception is rethrown after the drain.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::worker_loop() {

@@ -35,7 +35,9 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> job);
 
   /// Runs body(begin, end) over disjoint chunks of [0, n) across the pool,
-  /// blocking until all complete. Rethrows the first chunk exception.
+  /// blocking until every chunk has finished (even after a failure — queued
+  /// chunks reference `body`, so no job may outlive this call). The first
+  /// chunk exception is rethrown once all chunks are done.
   void parallel_for_chunks(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t)>& body);

@@ -1,0 +1,178 @@
+// Tests for the contract-check layer (src/core/check.hpp) itself: the
+// diagnostic format, the failure-handler hook, the death of the default
+// handler, and — when checks are compiled out — that conditions are not
+// evaluated at all.
+#include "core/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace hcsched {
+namespace {
+
+using check::Violation;
+
+// ---------------------------------------------------------------- formatting
+
+TEST(CheckFormat, PreconditionWithMessage) {
+  Violation v;
+  v.kind = "precondition";
+  v.expression = "task >= 0";
+  v.file = "src/sched/schedule.cpp";
+  v.line = 42;
+  v.function = "assign";
+  v.message = "task id -3 out of range";
+  EXPECT_EQ(check::format_violation(v),
+            "hcsched: PRECONDITION violated: task >= 0\n"
+            "  at src/sched/schedule.cpp:42 in assign\n"
+            "  task id -3 out of range");
+}
+
+TEST(CheckFormat, InvariantWithoutMessage) {
+  Violation v;
+  v.kind = "invariant";
+  v.expression = "begin == n";
+  v.file = "f.cpp";
+  v.line = 7;
+  v.function = "chunk";
+  EXPECT_EQ(check::format_violation(v),
+            "hcsched: INVARIANT violated: begin == n\n"
+            "  at f.cpp:7 in chunk");
+}
+
+TEST(CheckFormat, UnreachableHasNoExpression) {
+  Violation v;
+  v.kind = "unreachable";
+  v.file = "f.cpp";
+  v.line = 9;
+  v.function = "freeze";
+  v.message = "machine 3 unknown";
+  EXPECT_EQ(check::format_violation(v),
+            "hcsched: UNREACHABLE reached\n"
+            "  at f.cpp:9 in freeze\n"
+            "  machine 3 unknown");
+}
+
+// ------------------------------------------------------------ handler plumbing
+
+/// Thrown by the test handler so violations surface as catchable exceptions.
+struct ViolationError : std::runtime_error {
+  explicit ViolationError(const Violation& v)
+      : std::runtime_error(check::format_violation(v)) {}
+};
+
+[[noreturn]] void throwing_handler(const Violation& v) {
+  throw ViolationError(v);
+}
+
+/// RAII: installs the throwing handler for one test body.
+class ScopedThrowingHandler {
+ public:
+  ScopedThrowingHandler()
+      : previous_(check::set_failure_handler(&throwing_handler)) {}
+  ~ScopedThrowingHandler() { check::set_failure_handler(previous_); }
+  ScopedThrowingHandler(const ScopedThrowingHandler&) = delete;
+  ScopedThrowingHandler& operator=(const ScopedThrowingHandler&) = delete;
+
+ private:
+  check::Handler previous_;
+};
+
+#if HCSCHED_CHECK_ENABLED
+
+TEST(CheckEnabled, PassingCheckIsSilent) {
+  const ScopedThrowingHandler guard;
+  EXPECT_NO_THROW(HCSCHED_PRECONDITION(1 + 1 == 2));
+  EXPECT_NO_THROW(HCSCHED_INVARIANT(true, "never printed"));
+}
+
+TEST(CheckEnabled, FailingPreconditionReportsSiteAndMessage) {
+  const ScopedThrowingHandler guard;
+  const int task = -3;
+  try {
+    HCSCHED_PRECONDITION(task >= 0, "task id ", task, " out of range");
+    FAIL() << "precondition did not fire";
+  } catch (const ViolationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("PRECONDITION violated: task >= 0"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("task id -3 out of range"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckEnabled, FailingInvariantWithoutMessage) {
+  const ScopedThrowingHandler guard;
+  EXPECT_THROW(HCSCHED_INVARIANT(false), ViolationError);
+}
+
+TEST(CheckEnabled, UnreachableAlwaysFires) {
+  const ScopedThrowingHandler guard;
+  try {
+    HCSCHED_UNREACHABLE("frozen machine ", 3, " unknown");
+    FAIL() << "unreachable did not fire";
+  } catch (const ViolationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("UNREACHABLE reached"), std::string::npos) << what;
+    EXPECT_NE(what.find("frozen machine 3 unknown"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckEnabled, MessageArgumentsOnlyEvaluatedOnFailure) {
+  const ScopedThrowingHandler guard;
+  int evaluations = 0;
+  const auto counted = [&evaluations] { return ++evaluations; };
+  HCSCHED_INVARIANT(true, "count ", counted());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(HCSCHED_INVARIANT(false, "count ", counted()),
+               ViolationError);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckEnabled, SetFailureHandlerReturnsPrevious) {
+  const check::Handler original = check::set_failure_handler(nullptr);
+  EXPECT_EQ(check::set_failure_handler(&throwing_handler), nullptr);
+  EXPECT_EQ(check::set_failure_handler(original), &throwing_handler);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, DefaultHandlerPrintsAndAborts) {
+  EXPECT_DEATH(HCSCHED_PRECONDITION(false, "boom"),
+               "PRECONDITION violated: false");
+}
+
+TEST(CheckDeathTest, HandlerThatReturnsStillAborts) {
+  // A handler that swallows the violation must not let execution continue.
+  EXPECT_DEATH(
+      {
+        check::set_failure_handler(+[](const Violation&) {});
+        HCSCHED_INVARIANT(false);
+      },
+      ".*");
+}
+
+#else  // HCSCHED_CHECK_ENABLED
+
+TEST(CheckDisabled, ConditionsAreNotEvaluated) {
+  const ScopedThrowingHandler guard;
+  int evaluations = 0;
+  const auto counted = [&evaluations] { return ++evaluations > 0; };
+  HCSCHED_PRECONDITION(counted(), "side effect ", evaluations);
+  HCSCHED_INVARIANT(counted());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(CheckDisabled, CompiledInFlagReportsOff) {
+  EXPECT_FALSE(check::kChecksCompiledIn);
+}
+
+#endif  // HCSCHED_CHECK_ENABLED
+
+}  // namespace
+}  // namespace hcsched

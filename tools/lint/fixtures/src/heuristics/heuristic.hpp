@@ -1,0 +1,2 @@
+// Fixture framework base header: exempt from heuristic-registry by name.
+#pragma once

@@ -1,0 +1,2 @@
+// Fixture heuristic that IS registered (must not be flagged).
+#pragma once

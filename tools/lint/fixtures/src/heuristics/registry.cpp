@@ -1,0 +1,5 @@
+// Fixture registry: includes `known.hpp` but not `rogue.hpp`, so the
+// heuristic-registry rule must flag exactly the rogue header.
+#include "heuristics/registry.hpp"
+
+#include "heuristics/known.hpp"

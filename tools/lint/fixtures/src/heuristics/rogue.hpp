@@ -1,0 +1,3 @@
+// Fixture heuristic missing from registry.cpp — heuristic-registry must
+// flag this file.
+#pragma once

@@ -1,0 +1,4 @@
+// Fixture wrapper heuristic: unregistered by design, suppressed via the
+// allow comment (must not be flagged).
+// hcsched-lint: allow(heuristic-registry)
+#pragma once

@@ -1,0 +1,17 @@
+// Fixture with one raw counter call OUTSIDE any #if HCSCHED_TRACE region
+// (trace-guard must flag it) and one properly guarded call (must pass).
+#include "obs/counters.hpp"
+
+namespace fixture {
+
+void bad() {
+  obs::counters::add(obs::Counter::kPoolTasksSubmitted);
+}
+
+#if HCSCHED_TRACE
+void good() {
+  obs::counters::add(obs::Counter::kPoolTasksCompleted);
+}
+#endif
+
+}  // namespace fixture

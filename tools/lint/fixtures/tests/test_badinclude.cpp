@@ -1,0 +1,8 @@
+// Fixture with the two include-hygiene violations: a src/-prefixed include
+// and a parent-relative include. Listed in CMakeLists? No — but the file
+// opts out of test-registration to keep each fixture focused on one rule.
+// hcsched-lint: allow(test-registration)
+#include "src/core/check.hpp"
+#include "../src/sched/schedule.hpp"
+
+int bad_includes() { return 0; }

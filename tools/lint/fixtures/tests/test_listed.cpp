@@ -1,0 +1,2 @@
+// Fixture test that IS listed in CMakeLists.txt (must not be flagged).
+int listed() { return 0; }

@@ -1,0 +1,3 @@
+// Fixture test missing from CMakeLists.txt — test-registration must flag
+// this file: it would silently never run.
+int orphan() { return 0; }

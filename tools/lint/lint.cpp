@@ -1,0 +1,304 @@
+// hcsched_lint — repo-convention linter (dependency-free, ctest-registered).
+//
+// Enforces project invariants the compiler cannot see:
+//
+//   heuristic-registry  every heuristic header under src/heuristics/ is
+//                       included by src/heuristics/registry.cpp, so new
+//                       heuristics cannot silently miss name-based lookup
+//                       (heuristic.hpp and registry.hpp are the framework
+//                       itself and exempt).
+//   trace-guard         raw observability calls (obs::counters::add,
+//                       obs::Tracer::emit, histogram feeds) outside src/obs/
+//                       sit inside an #if HCSCHED_TRACE region or use the
+//                       self-guarding HCSCHED_COUNT/HCSCHED_TRACE_EVENT
+//                       macros, preserving the -DHCSCHED_TRACE=0 kill switch.
+//   test-registration   every tests/test_*.cpp is listed in
+//                       tests/CMakeLists.txt (an unlisted test silently
+//                       never runs).
+//   include-hygiene     no `#include "src/...)` and no `#include "../...`
+//                       anywhere — all project includes are relative to
+//                       src/ (the exported include root).
+//
+// A file may opt out of one rule with a comment anywhere in the file:
+//     // hcsched-lint: allow(<rule-id>)
+//
+// Usage: hcsched_lint --root <repo-or-fixture-root> [--verbose]
+// Exit code: 0 when clean, 1 on violations, 2 on usage/IO errors.
+//
+// Directories named "build*", ".git", or "fixtures" are skipped, so the
+// linter's own test fixtures never count against the real tree.
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;   // path relative to the scanned root
+  std::size_t line;   // 1-based; 0 = whole-file finding
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  fs::path path;              // absolute
+  std::string relative;       // relative to root, '/'-separated
+  std::vector<std::string> lines;
+};
+
+std::string to_relative(const fs::path& path, const fs::path& root) {
+  std::string rel = path.lexically_relative(root).generic_string();
+  return rel.empty() ? path.generic_string() : rel;
+}
+
+bool skip_directory(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name == ".git" || name == "fixtures" || name.rfind("build", 0) == 0;
+}
+
+std::vector<std::string> read_lines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// All *.hpp / *.cpp files under root (skipping excluded dirs), sorted by
+/// relative path so output and exit behavior are deterministic.
+std::vector<SourceFile> collect_sources(const fs::path& root) {
+  std::vector<SourceFile> files;
+  if (!fs::exists(root)) return files;
+  fs::recursive_directory_iterator it(root), end;
+  for (; it != end; ++it) {
+    if (it->is_directory()) {
+      if (skip_directory(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    files.push_back(SourceFile{it->path(), to_relative(it->path(), root),
+                               read_lines(it->path())});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.relative < b.relative;
+            });
+  return files;
+}
+
+bool file_allows(const SourceFile& file, std::string_view rule) {
+  const std::string needle = "hcsched-lint: allow(" + std::string(rule) + ")";
+  for (const std::string& line : file.lines) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string_view trim_left(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+// ------------------------------------------------------------------- rules
+
+void check_heuristic_registry(const std::vector<SourceFile>& files,
+                              std::vector<Violation>& out) {
+  const SourceFile* registry = nullptr;
+  for (const SourceFile& f : files) {
+    if (f.relative == "src/heuristics/registry.cpp") registry = &f;
+  }
+  if (registry == nullptr) return;  // tree has no registry to check against
+  std::string registry_text;
+  for (const std::string& line : registry->lines) {
+    registry_text += line;
+    registry_text += '\n';
+  }
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "src/heuristics/") ||
+        f.path.extension() != ".hpp") {
+      continue;
+    }
+    const std::string stem = f.path.stem().string();
+    if (stem == "heuristic" || stem == "registry") continue;  // framework
+    if (file_allows(f, "heuristic-registry")) continue;
+    const std::string include = "#include \"heuristics/" + stem + ".hpp\"";
+    if (registry_text.find(include) == std::string::npos) {
+      out.push_back(Violation{
+          f.relative, 0, "heuristic-registry",
+          "header is not included by src/heuristics/registry.cpp; register "
+          "the heuristic (or mark the file '// hcsched-lint: "
+          "allow(heuristic-registry)' if it is a wrapper)"});
+    }
+  }
+}
+
+void check_trace_guard(const std::vector<SourceFile>& files,
+                       std::vector<Violation>& out) {
+  // Raw observability entry points that -DHCSCHED_TRACE=0 must compile out.
+  constexpr std::string_view kRawCalls[] = {
+      "obs::counters::add(",      "counters::add(",
+      "obs::Tracer::emit(",       "Tracer::emit(",
+      "record_heuristic_call(",   "record_queue_depth(",
+      "pool_wait_histogram(",     "pool_run_histogram(",
+  };
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "src/")) continue;
+    if (starts_with(f.relative, "src/obs/")) continue;  // the implementation
+    if (file_allows(f, "trace-guard")) continue;
+    // Track preprocessor conditional nesting; a line is guarded when any
+    // enclosing conditional mentions HCSCHED_TRACE.
+    std::vector<bool> guard_stack;
+    std::size_t guarded_depth = 0;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string_view line = trim_left(f.lines[i]);
+      if (starts_with(line, "#if")) {  // #if / #ifdef / #ifndef
+        const bool guards = line.find("HCSCHED_TRACE") != std::string::npos;
+        guard_stack.push_back(guards);
+        if (guards) ++guarded_depth;
+        continue;
+      }
+      if (starts_with(line, "#endif")) {
+        if (!guard_stack.empty()) {
+          if (guard_stack.back()) --guarded_depth;
+          guard_stack.pop_back();
+        }
+        continue;
+      }
+      if (starts_with(line, "//")) continue;  // comment-only line
+      if (guarded_depth > 0) continue;
+      for (const std::string_view call : kRawCalls) {
+        if (f.lines[i].find(call) != std::string::npos) {
+          out.push_back(Violation{
+              f.relative, i + 1, "trace-guard",
+              "raw call '" + std::string(call) +
+                  "...' outside an #if HCSCHED_TRACE region; use "
+                  "HCSCHED_COUNT/HCSCHED_TRACE_EVENT or guard the block"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_test_registration(const fs::path& root,
+                             const std::vector<SourceFile>& files,
+                             std::vector<Violation>& out) {
+  const fs::path cmake_lists = root / "tests" / "CMakeLists.txt";
+  if (!fs::exists(cmake_lists)) return;
+  std::string cmake_text;
+  {
+    std::ifstream in(cmake_lists);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    cmake_text = buffer.str();
+  }
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "tests/")) continue;
+    const std::string name = f.path.filename().string();
+    if (name.rfind("test_", 0) != 0 || f.path.extension() != ".cpp") continue;
+    if (file_allows(f, "test-registration")) continue;
+    if (cmake_text.find(name) == std::string::npos) {
+      out.push_back(Violation{
+          f.relative, 0, "test-registration",
+          "test file is not listed in tests/CMakeLists.txt and will never "
+          "run"});
+    }
+  }
+}
+
+void check_include_hygiene(const std::vector<SourceFile>& files,
+                           std::vector<Violation>& out) {
+  for (const SourceFile& f : files) {
+    if (file_allows(f, "include-hygiene")) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string_view line = trim_left(f.lines[i]);
+      if (!starts_with(line, "#include")) continue;
+      if (line.find("#include \"src/") != std::string_view::npos) {
+        out.push_back(Violation{
+            f.relative, i + 1, "include-hygiene",
+            "include paths are relative to src/ — drop the 'src/' prefix"});
+      } else if (line.find("#include \"../") != std::string_view::npos) {
+        out.push_back(Violation{
+            f.relative, i + 1, "include-hygiene",
+            "parent-relative include; use a src/-relative path instead"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::cerr << "usage: hcsched_lint --root <dir> [--verbose]\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "hcsched_lint: --root is required\n";
+    return 2;
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "hcsched_lint: cannot open root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  const std::vector<SourceFile> files = collect_sources(root);
+  if (verbose) {
+    std::cout << "hcsched_lint: scanning " << files.size()
+              << " source files under " << root.generic_string() << "\n";
+  }
+
+  std::vector<Violation> violations;
+  check_heuristic_registry(files, violations);
+  check_trace_guard(files, violations);
+  check_test_registration(root, files, violations);
+  check_include_hygiene(files, violations);
+
+  std::sort(violations.begin(), violations.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  for (const Violation& v : violations) {
+    std::cout << v.file;
+    if (v.line != 0) std::cout << ':' << v.line;
+    std::cout << ": [" << v.rule << "] " << v.message << "\n";
+  }
+  if (violations.empty()) {
+    if (verbose) std::cout << "hcsched_lint: clean\n";
+    return 0;
+  }
+  std::cout << "hcsched_lint: " << violations.size() << " violation"
+            << (violations.size() == 1 ? "" : "s") << "\n";
+  return 1;
+}
