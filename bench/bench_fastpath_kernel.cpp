@@ -1,0 +1,186 @@
+// Reference vs fast-path kernel for the two-phase greedy heuristics over
+// the m x t grid from docs/FASTPATH.md (m in {8, 32, 128}, t in {128, 512,
+// 2048}).
+//
+// Two sections:
+//  * A manual timing sweep that cross-checks schedule equivalence per cell,
+//    prints a comparison table, and writes BENCH_fastpath.json (path
+//    overridable with --json-out <path>) — the machine-readable record the
+//    ISSUE's >= 2x Min-Min acceptance bar is checked against.
+//  * The usual google-benchmark registration of both paths, for
+//    --benchmark_filter-style exploration.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "etc/cvb_generator.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
+#include "heuristics/minmin.hpp"
+#include "obs/json.hpp"
+#include "rng/rng.hpp"
+#include "rng/tie_break.hpp"
+
+namespace {
+
+namespace fastpath = hcsched::heuristics::fastpath;
+using hcsched::etc::CvbEtcGenerator;
+using hcsched::etc::CvbParams;
+using hcsched::etc::EtcMatrix;
+using hcsched::obs::JsonValue;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+constexpr std::size_t kMachines[] = {8, 32, 128};
+constexpr std::size_t kTasks[] = {128, 512, 2048};
+
+EtcMatrix make_matrix(std::size_t tasks, std::size_t machines) {
+  hcsched::rng::Rng rng(tasks * 131 + machines);
+  CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return CvbEtcGenerator(p).generate(rng);
+}
+
+Schedule run_path(const Problem& problem, bool use_fastpath,
+                  bool prefer_largest) {
+  const fastpath::ScopedMode scope(use_fastpath ? fastpath::Mode::kForceOn
+                                                : fastpath::Mode::kForceOff);
+  TieBreaker ties;
+  return hcsched::heuristics::detail::two_phase_greedy(problem, ties,
+                                                       prefer_largest);
+}
+
+/// Best-of-reps wall time of one path on one problem, in nanoseconds.
+/// Minimum (not mean) because scheduling noise only ever adds time.
+std::uint64_t time_path_ns(const Problem& problem, bool use_fastpath,
+                           bool prefer_largest, int reps) {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    Schedule s = run_path(problem, use_fastpath, prefer_largest);
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(s);
+    best = std::min(best, static_cast<std::uint64_t>(
+                              std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(stop - start)
+                                  .count()));
+  }
+  return best;
+}
+
+/// The manual sweep: every grid cell for Min-Min and Max-Min, equivalence
+/// cross-checked, table printed, JSON written. Returns false if any cell
+/// diverged (the JSON still records it).
+bool run_sweep(const std::string& json_path) {
+  bool all_equivalent = true;
+  JsonValue::Array cells;
+  std::printf(
+      "%-8s %6s %9s | %12s %12s %8s\n", "heur", "tasks", "machines",
+      "reference_ms", "fastpath_ms", "speedup");
+  for (const bool prefer_largest : {false, true}) {
+    const char* heuristic = prefer_largest ? "Max-Min" : "Min-Min";
+    for (const std::size_t tasks : kTasks) {
+      for (const std::size_t machines : kMachines) {
+        const EtcMatrix matrix = make_matrix(tasks, machines);
+        const Problem problem = Problem::full(matrix);
+        const Schedule ref =
+            run_path(problem, /*use_fastpath=*/false, prefer_largest);
+        const Schedule fast =
+            run_path(problem, /*use_fastpath=*/true, prefer_largest);
+        const bool equivalent =
+            ref.same_mapping(fast) &&
+            ref.completion_times_by_slot() == fast.completion_times_by_slot();
+        all_equivalent = all_equivalent && equivalent;
+        // Warm runs above already touched every cache line; fewer reps at
+        // the big sizes keep the sweep under ~half a minute.
+        const int reps = tasks >= 2048 ? 3 : 5;
+        const std::uint64_t ref_ns =
+            time_path_ns(problem, false, prefer_largest, reps);
+        const std::uint64_t fast_ns =
+            time_path_ns(problem, true, prefer_largest, reps);
+        const double speedup = fast_ns == 0
+                                   ? 0.0
+                                   : static_cast<double>(ref_ns) /
+                                         static_cast<double>(fast_ns);
+        std::printf("%-8s %6zu %9zu | %12.3f %12.3f %7.2fx%s\n", heuristic,
+                    tasks, machines, static_cast<double>(ref_ns) / 1e6,
+                    static_cast<double>(fast_ns) / 1e6, speedup,
+                    equivalent ? "" : "  DIVERGED");
+        JsonValue::Object cell;
+        cell.emplace_back("heuristic", JsonValue(heuristic));
+        cell.emplace_back("tasks", JsonValue(tasks));
+        cell.emplace_back("machines", JsonValue(machines));
+        cell.emplace_back("reference_ns", JsonValue(ref_ns));
+        cell.emplace_back("fastpath_ns", JsonValue(fast_ns));
+        cell.emplace_back("speedup", JsonValue(speedup));
+        cell.emplace_back("equivalent", JsonValue(equivalent));
+        cells.emplace_back(std::move(cell));
+      }
+    }
+  }
+  JsonValue::Object doc;
+  doc.emplace_back("bench", JsonValue("fastpath_kernel"));
+  doc.emplace_back("tie_policy", JsonValue("deterministic"));
+  doc.emplace_back("timing", JsonValue("best of 3-5 runs, steady_clock"));
+  doc.emplace_back("all_equivalent", JsonValue(all_equivalent));
+  doc.emplace_back("cells", JsonValue(std::move(cells)));
+  std::ofstream out(json_path);
+  out << JsonValue(std::move(doc)).dump(2) << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return all_equivalent;
+}
+
+void BM_TwoPhase(benchmark::State& state, bool use_fastpath) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  const auto machines = static_cast<std::size_t>(state.range(1));
+  const EtcMatrix matrix = make_matrix(tasks, machines);
+  const Problem problem = Problem::full(matrix);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_path(problem, use_fastpath, /*prefer_largest=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks));
+}
+
+void register_benchmarks() {
+  for (const bool use_fastpath : {false, true}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        use_fastpath ? "minmin/fastpath" : "minmin/reference", BM_TwoPhase,
+        use_fastpath);
+    for (const std::size_t tasks : kTasks) {
+      for (const std::size_t machines : kMachines) {
+        bench->Args({static_cast<long>(tasks), static_cast<long>(machines)});
+      }
+    }
+    bench->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_fastpath.json";
+  // Strip --json-out before google-benchmark sees (and rejects) it.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  const bool equivalent = run_sweep(json_path);
+  register_benchmarks();
+  benchmark::Initialize(&out_argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return equivalent ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/check.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "sched/metrics.hpp"
@@ -185,6 +186,8 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
     }
     obs::JsonValue::Object fields;
     fields.emplace_back("heuristic", obs::JsonValue(heuristic.name()));
+    fields.emplace_back("fastpath",
+                        obs::JsonValue(heuristics::fastpath::enabled()));
     fields.emplace_back("iterations",
                         obs::JsonValue(result.iterations.size()));
     fields.emplace_back("original_makespan",

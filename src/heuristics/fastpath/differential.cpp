@@ -1,0 +1,183 @@
+#include "heuristics/fastpath/differential.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "etc/cvb_generator.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
+#include "heuristics/minmin.hpp"
+#include "obs/counters.hpp"
+#include "rng/rng.hpp"
+
+namespace hcsched::heuristics::fastpath {
+
+namespace {
+
+using sched::Problem;
+using sched::Schedule;
+
+const char* policy_name(rng::TiePolicy policy) noexcept {
+  switch (policy) {
+    case rng::TiePolicy::kDeterministic:
+      return "det";
+    case rng::TiePolicy::kRandom:
+      return "random";
+    case rng::TiePolicy::kScripted:
+      return "scripted";
+  }
+  return "?";
+}
+
+/// Subset of the matrix's tasks/machines plus nonzero ready times, derived
+/// deterministically from `rng` (roughly 3/4 of the tasks, 2/3 of the
+/// machines, never empty).
+Problem derive_subset(const etc::EtcMatrix& matrix, double mean_ready,
+                      rng::Rng& rng) {
+  std::vector<sched::TaskId> tasks;
+  for (std::size_t t = 0; t < matrix.num_tasks(); ++t) {
+    if (!rng.chance(0.25)) tasks.push_back(static_cast<sched::TaskId>(t));
+  }
+  if (tasks.empty()) tasks.push_back(0);
+  std::vector<sched::MachineId> machines;
+  for (std::size_t m = 0; m < matrix.num_machines(); ++m) {
+    if (!rng.chance(1.0 / 3.0)) {
+      machines.push_back(static_cast<sched::MachineId>(m));
+    }
+  }
+  if (machines.empty()) machines.push_back(0);
+  std::vector<double> ready;
+  ready.reserve(machines.size());
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    ready.push_back(rng.uniform(0.0, mean_ready));
+  }
+  return Problem(matrix, std::move(tasks), std::move(machines),
+                 std::move(ready));
+}
+
+/// First divergence between two schedules, or "" when identical. Compares
+/// the assignment sequences exactly (order, ids and IEEE doubles) and the
+/// by-slot completion-time vectors.
+std::string first_divergence(const Schedule& ref, const Schedule& fast) {
+  std::ostringstream out;
+  const auto& ref_order = ref.assignment_order();
+  const auto& fast_order = fast.assignment_order();
+  if (ref_order.size() != fast_order.size()) {
+    out << "assignment counts differ: reference " << ref_order.size()
+        << " vs fastpath " << fast_order.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < ref_order.size(); ++i) {
+    if (!(ref_order[i] == fast_order[i])) {
+      out << "assignment " << i << " differs: reference task "
+          << ref_order[i].task << "->m" << ref_order[i].machine << " ["
+          << ref_order[i].start << ", " << ref_order[i].finish
+          << ") vs fastpath task " << fast_order[i].task << "->m"
+          << fast_order[i].machine << " [" << fast_order[i].start << ", "
+          << fast_order[i].finish << ")";
+      return out.str();
+    }
+  }
+  const auto& ref_ct = ref.completion_times_by_slot();
+  const auto& fast_ct = fast.completion_times_by_slot();
+  for (std::size_t slot = 0; slot < ref_ct.size(); ++slot) {
+    if (ref_ct[slot] != fast_ct[slot]) {
+      out << "completion time of slot " << slot << " differs: reference "
+          << ref_ct[slot] << " vs fastpath " << fast_ct[slot];
+      return out.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+DifferentialOutcome run_differential_case(const DifferentialCase& c) {
+  rng::Rng rng(c.seed);
+  etc::CvbParams params;
+  params.num_tasks = c.tasks;
+  params.num_machines = c.machines;
+  params.mean_task_time = c.mean_task_time;
+  params.v_task = c.v_task;
+  params.v_machine = c.v_machine;
+  const etc::EtcMatrix matrix = etc::shape_consistency(
+      etc::CvbEtcGenerator(params).generate(rng), c.consistency);
+  const Problem problem = c.subset
+                              ? derive_subset(matrix, c.mean_task_time, rng)
+                              : Problem::full(matrix);
+
+  // Identically-seeded tie state per path: the comparison is meaningful
+  // only if both paths face the exact same random stream / script.
+  const std::uint64_t tie_seed = rng.next_u64();
+  rng::Rng ref_rng(tie_seed);
+  rng::Rng fast_rng(tie_seed);
+  std::vector<std::size_t> script;
+  if (c.policy == rng::TiePolicy::kScripted) {
+    script.reserve(c.tasks * 4);
+    for (std::size_t i = 0; i < c.tasks * 4; ++i) {
+      script.push_back(static_cast<std::size_t>(rng.below(6)));
+    }
+  }
+  auto make_ties = [&](rng::Rng& tie_rng) {
+    switch (c.policy) {
+      case rng::TiePolicy::kRandom:
+        return rng::TieBreaker(tie_rng);
+      case rng::TiePolicy::kScripted:
+        return rng::TieBreaker(script);
+      case rng::TiePolicy::kDeterministic:
+        break;
+    }
+    return rng::TieBreaker();
+  };
+  rng::TieBreaker ref_ties = make_ties(ref_rng);
+  rng::TieBreaker fast_ties = make_ties(fast_rng);
+
+  DifferentialOutcome outcome;
+#if HCSCHED_TRACE
+  const auto before_ref = obs::counters::snapshot();
+#endif
+  const Schedule ref = heuristics::detail::two_phase_greedy_reference(
+      problem, ref_ties, c.prefer_largest);
+#if HCSCHED_TRACE
+  const auto before_fast = obs::counters::snapshot();
+#endif
+  const Schedule fast =
+      two_phase_greedy_fast(problem, fast_ties, c.prefer_largest);
+#if HCSCHED_TRACE
+  const auto after = obs::counters::snapshot();
+  outcome.reference_cell_evals = before_fast.delta_since(
+      before_ref)[obs::Counter::kEtcCellEvaluations];
+  outcome.fastpath_cell_evals =
+      after.delta_since(before_fast)[obs::Counter::kEtcCellEvaluations];
+#endif
+
+  outcome.divergence = first_divergence(ref, fast);
+  if (outcome.divergence.empty() &&
+      ref_ties.decisions() != fast_ties.decisions()) {
+    std::ostringstream out;
+    out << "TieBreaker decision counts differ: reference "
+        << ref_ties.decisions() << " vs fastpath " << fast_ties.decisions();
+    outcome.divergence = out.str();
+  }
+  if (outcome.divergence.empty() &&
+      ref_ties.tie_events() != fast_ties.tie_events()) {
+    std::ostringstream out;
+    out << "TieBreaker tie-event counts differ: reference "
+        << ref_ties.tie_events() << " vs fastpath "
+        << fast_ties.tie_events();
+    outcome.divergence = out.str();
+  }
+  outcome.equivalent = outcome.divergence.empty();
+  return outcome;
+}
+
+std::string describe(const DifferentialCase& c) {
+  std::ostringstream out;
+  out << "seed=" << c.seed << " t=" << c.tasks << " m=" << c.machines
+      << " consistency=" << etc::to_string(c.consistency)
+      << " policy=" << policy_name(c.policy)
+      << " heuristic=" << (c.prefer_largest ? "Max-Min" : "Min-Min")
+      << (c.subset ? " subset" : "");
+  return out.str();
+}
+
+}  // namespace hcsched::heuristics::fastpath

@@ -1,0 +1,53 @@
+// Differential harness: one seeded reference-vs-kernel comparison.
+//
+// Shared between tests/test_fastpath_differential.cpp (the ctest suite) and
+// tools/fuzz/fastpath_fuzz.cpp (the env-driven seed-sweep runner), so a CI
+// widening of the fuzz range exercises byte-for-byte the same checks the
+// unit suite pins. A case is fully described by a seed plus the knobs
+// below; describe() prints a one-line repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "etc/consistency.hpp"
+#include "rng/tie_break.hpp"
+
+namespace hcsched::heuristics::fastpath {
+
+struct DifferentialCase {
+  std::uint64_t seed = 1;
+  std::size_t tasks = 16;
+  std::size_t machines = 4;
+  etc::Consistency consistency = etc::Consistency::kInconsistent;
+  rng::TiePolicy policy = rng::TiePolicy::kDeterministic;
+  bool prefer_largest = false;  ///< false = Min-Min, true = Max-Min
+  /// Map a task/machine subset with nonzero initial ready times (derived
+  /// deterministically from the seed) instead of the full problem.
+  bool subset = false;
+  double mean_task_time = 100.0;
+  double v_task = 0.6;
+  double v_machine = 0.6;
+};
+
+struct DifferentialOutcome {
+  bool equivalent = false;
+  /// Empty when equivalent; otherwise the first divergence found.
+  std::string divergence{};
+  /// etc_cell_evaluations each path charged (0 when HCSCHED_TRACE is off or
+  /// when other threads are concurrently counting).
+  std::uint64_t reference_cell_evals = 0;
+  std::uint64_t fastpath_cell_evals = 0;
+};
+
+/// Generates the case's CVB matrix, runs the reference loop and the kernel
+/// with identically-seeded TieBreakers, and compares: assignment sequences
+/// (task, machine, start, finish — exact doubles), completion-time vectors
+/// by slot, and the TieBreakers' decision/tie-event counts.
+DifferentialOutcome run_differential_case(const DifferentialCase& c);
+
+/// One-line repro description, e.g.
+/// "seed=7 t=24 m=6 consistency=semi policy=random heuristic=Max-Min".
+std::string describe(const DifferentialCase& c);
+
+}  // namespace hcsched::heuristics::fastpath

@@ -1,0 +1,39 @@
+// EtcView: a contiguously laid-out copy of the ETC cells a Problem can see.
+//
+// Problem::etc_at(task, slot) dereferences the machine-id vector and the
+// full matrix on every call; the greedy kernel's inner loop instead scans
+// one flat buffer. Cells are stored with the machine slot as the minor
+// (contiguous) dimension — row(p) is task p's completion-cost row across
+// the problem's machine slots — because every rescore walks exactly that
+// row. Values are verbatim copies of the matrix doubles, so arithmetic on
+// a view row is bit-identical to arithmetic through Problem::etc_at.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/problem.hpp"
+
+namespace hcsched::heuristics::fastpath {
+
+class EtcView {
+ public:
+  /// Gathers the problem's tasks x machine-slots submatrix. O(T x M).
+  explicit EtcView(const sched::Problem& problem);
+
+  std::size_t num_tasks() const noexcept { return tasks_; }
+  std::size_t num_slots() const noexcept { return slots_; }
+
+  /// ETC row of the task at position `task_pos` in problem.tasks(), indexed
+  /// by machine slot. Hot-path accessor: `task_pos` must be in range.
+  std::span<const double> row(std::size_t task_pos) const noexcept {
+    return std::span<const double>(data_).subspan(task_pos * slots_, slots_);
+  }
+
+ private:
+  std::size_t tasks_ = 0;
+  std::size_t slots_ = 0;
+  std::vector<double> data_{};
+};
+
+}  // namespace hcsched::heuristics::fastpath

@@ -1,0 +1,76 @@
+// Incremental fast-path kernel for the two-phase greedy heuristics
+// (Min-Min / Max-Min, and Duplex which runs both).
+//
+// The reference implementation (heuristics::detail::two_phase_greedy_reference
+// in minmin.cpp) rescores every unmapped task on every machine each round —
+// O(rounds x tasks x machines). The kernel here exploits the fact that one
+// round changes exactly one machine's ready time, and ready times only grow:
+// a surviving task's phase-one decision can change ONLY if the updated
+// machine slot was inside its epsilon-tied best set. All other tasks keep a
+// bit-identical candidate set and merely *replay* their TieBreaker decision,
+// which preserves the decision/tie-event counts and the RNG or script stream
+// exactly (docs/FASTPATH.md states the invariant and the equivalence
+// guarantee; tests/test_fastpath_differential.cpp enforces it).
+//
+// Switches, in precedence order:
+//   * CMake: -DHCSCHED_FASTPATH=OFF compiles the dispatch default to the
+//     reference path; the kernel itself stays built so the differential
+//     suite can always compare both paths.
+//   * API: set_mode(Mode::kForceOn / kForceOff) — process-wide override
+//     (ScopedMode is the RAII form used by tests, benches and the study
+//     driver). Not intended for concurrent flipping from multiple threads.
+//   * Environment: HCSCHED_FASTPATH=0/off/false/no disables dispatch when
+//     the mode is kAuto (read once, at first query).
+#pragma once
+
+#include "heuristics/heuristic.hpp"
+
+#ifndef HCSCHED_FASTPATH
+#define HCSCHED_FASTPATH 1
+#endif
+
+namespace hcsched::heuristics::fastpath {
+
+enum class Mode : std::uint8_t {
+  kAuto,      ///< compile-time default, overridable by HCSCHED_FASTPATH env
+  kForceOn,   ///< dispatch to the kernel (no-op when compiled() is false)
+  kForceOff,  ///< dispatch to the reference implementation
+};
+
+/// Whether the build's dispatch default allows the fast path at all
+/// (-DHCSCHED_FASTPATH). The kernel function below is compiled either way.
+constexpr bool compiled() noexcept { return HCSCHED_FASTPATH != 0; }
+
+Mode mode() noexcept;
+void set_mode(Mode mode) noexcept;
+
+/// True when detail::two_phase_greedy should dispatch to the kernel:
+/// compiled() and not forced off and (forced on or the environment default).
+bool enabled() noexcept;
+
+/// Parses an HCSCHED_FASTPATH environment value: "0", "off", "false", "no"
+/// (case-insensitive) disable; everything else (including null) enables.
+bool env_value_enables(const char* value) noexcept;
+
+/// RAII mode override, restoring the previous mode on scope exit.
+class ScopedMode {
+ public:
+  explicit ScopedMode(Mode m) noexcept : previous_(mode()) { set_mode(m); }
+  ~ScopedMode() { set_mode(previous_); }
+  ScopedMode(const ScopedMode&) = delete;
+  ScopedMode& operator=(const ScopedMode&) = delete;
+
+ private:
+  Mode previous_;
+};
+
+/// The incremental kernel. Produces output equivalent to the reference
+/// two-phase greedy loop under every TiePolicy: identical assignments (same
+/// order), identical completion-time vectors, identical TieBreaker decision
+/// and tie-event counts, identical RNG/script consumption. Only the
+/// etc_cell_evaluations counter differs (it reports the work actually done,
+/// which is the point).
+Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
+                               bool prefer_largest);
+
+}  // namespace hcsched::heuristics::fastpath

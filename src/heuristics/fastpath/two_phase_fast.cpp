@@ -1,0 +1,137 @@
+// The incremental two-phase greedy kernel (see fastpath.hpp for the switch
+// surface and docs/FASTPATH.md for the full equivalence argument).
+//
+// Invalidation invariant: a round changes exactly one ready time, and ready
+// times never decrease. For a surviving task whose epsilon-tied best set
+// did NOT contain the updated slot, every tied candidate's completion time
+// is unchanged and the updated slot's score only moved further above the
+// minimum, so the task's candidate set — and therefore the TieBreaker's
+// decision distribution — is bit-identical to a full rescore. Such tasks
+// only *replay* their decision through TieBreaker::choose_among, which
+// performs the same bookkeeping (one decision, one tie event iff the set
+// has >1 candidates, one RNG draw / script entry iff a tie event) as the
+// reference's choose_min over the full score vector. Tasks whose tied set
+// contained the updated slot are rescored from scratch: the minimum may
+// migrate, and previously-out candidates within epsilon of the *new*
+// minimum may enter the set.
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/check.hpp"
+#include "heuristics/fastpath/etc_view.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
+#include "obs/counters.hpp"
+
+namespace hcsched::heuristics::fastpath {
+
+namespace {
+
+/// Cached phase-one state of one unmapped task. `tied` lists the machine
+/// slots within the TieBreaker's epsilon of `min_ct`, ascending — exactly
+/// the candidate list choose_min would build from the full score vector.
+struct TaskState {
+  double min_ct = 0.0;
+  std::size_t best_slot = 0;
+  double best_ct = 0.0;
+  std::vector<std::size_t> tied{};
+};
+
+}  // namespace
+
+Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
+                               bool prefer_largest) {
+  Schedule schedule(problem);
+  const std::size_t n = problem.num_tasks();
+  const std::size_t m = problem.num_machines();
+  if (n == 0) return schedule;
+  HCSCHED_PRECONDITION(m > 0, "two_phase_greedy_fast: problem with ", n,
+                       " tasks but no machines");
+
+  const EtcView view(problem);
+  std::vector<double> ready = problem.initial_ready_times();
+
+  std::vector<TaskState> state(n);
+  std::vector<char> alive(n, 1);
+  std::vector<char> stale(n, 1);  // round 0: everything needs a full score
+  std::vector<std::size_t> round_tied;
+  round_tied.reserve(n);
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    // Phase 1: one TieBreaker decision per unmapped task, in list order,
+    // exactly as the reference — rescoring only the stale tasks.
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!alive[p]) continue;
+      TaskState& ts = state[p];
+      const std::span<const double> etc_row = view.row(p);
+      if (stale[p]) {
+        HCSCHED_COUNT(obs::Counter::kEtcCellEvaluations, m);
+        HCSCHED_COUNT(obs::Counter::kFastpathRescores);
+        double best = ready[0] + etc_row[0];
+        for (std::size_t slot = 1; slot < m; ++slot) {
+          best = std::min(best, ready[slot] + etc_row[slot]);
+        }
+        ts.min_ct = best;
+        ts.tied.clear();
+        for (std::size_t slot = 0; slot < m; ++slot) {
+          if (ties.tied(best, ready[slot] + etc_row[slot])) {
+            ts.tied.push_back(slot);
+          }
+        }
+        stale[p] = 0;
+      } else {
+        HCSCHED_COUNT(obs::Counter::kFastpathReplays);
+      }
+      // Re-drawn every round even from cache: under TiePolicy::kRandom the
+      // reference re-rolls tied candidates each round, and the decision /
+      // tie-event counts must match under every policy.
+      ts.best_slot = ties.choose_among(ts.tied);
+      ts.best_ct = ready[ts.best_slot] + etc_row[ts.best_slot];
+    }
+
+    // Phase 2: pick the task with the minimum (Min-Min) or maximum
+    // (Max-Min) phase-one completion time. Positions ascend in original
+    // list order — the same order the reference's erase()-maintained list
+    // presents to choose_min/choose_max — so the candidate list passed to
+    // the TieBreaker corresponds element-for-element.
+    double target = 0.0;
+    bool first = true;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!alive[p]) continue;
+      const double ct = state[p].best_ct;
+      if (first) {
+        target = ct;
+        first = false;
+      } else {
+        target = prefer_largest ? std::max(target, ct) : std::min(target, ct);
+      }
+    }
+    round_tied.clear();
+    for (std::size_t p = 0; p < n; ++p) {
+      if (alive[p] && ties.tied(target, state[p].best_ct)) {
+        round_tied.push_back(p);
+      }
+    }
+    const std::size_t pick = ties.choose_among(round_tied);
+    const std::size_t slot = state[pick].best_slot;
+    ready[slot] = schedule.assign(problem.tasks()[pick],
+                                  problem.machines()[slot]);
+    alive[pick] = 0;
+    --remaining;
+
+    // Invalidate the survivors whose cached candidate set involved the
+    // updated slot; everyone else replays next round. The tied sets are
+    // almost always singletons, so this sweep is O(remaining).
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!alive[p] || stale[p]) continue;
+      const std::vector<std::size_t>& tied = state[p].tied;
+      if (std::find(tied.begin(), tied.end(), slot) != tied.end()) {
+        stale[p] = 1;
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace hcsched::heuristics::fastpath

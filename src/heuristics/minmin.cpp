@@ -1,11 +1,13 @@
 #include "heuristics/minmin.hpp"
 
+#include "heuristics/fastpath/fastpath.hpp"
+
 namespace hcsched::heuristics {
 
 namespace detail {
 
-Schedule two_phase_greedy(const Problem& problem, TieBreaker& ties,
-                          bool prefer_largest) {
+Schedule two_phase_greedy_reference(const Problem& problem, TieBreaker& ties,
+                                    bool prefer_largest) {
   Schedule schedule(problem);
   std::vector<double> ready = problem.initial_ready_times();
   std::vector<TaskId> unmapped = problem.tasks();
@@ -33,9 +35,28 @@ Schedule two_phase_greedy(const Problem& problem, TieBreaker& ties,
     const TaskId task = unmapped[pick];
     const std::size_t slot = best_slot[pick];
     ready[slot] = schedule.assign(task, problem.machines()[slot]);
+    // List order is load-bearing: phase-two ties resolve by *position* in
+    // this list, and the positional order must stay the problem's original
+    // task order (deterministic ties pick the earliest original task; a
+    // random draw's index maps through ascending positions). A swap-and-pop
+    // here would reorder survivors and change which task wins a later
+    // phase-two tie — and thereby the final mapping, since the loser then
+    // sees updated ready times (pinned by
+    // FastpathDifferential.PhaseTwoTieBreaksInOriginalTaskOrder). The erase
+    // is also not the bottleneck: its O(|T|) shift sits next to the
+    // O(|T| x |M|) rescore above. The fast-path kernel avoids both via an
+    // alive-mask over fixed positions, which preserves order for free.
     unmapped.erase(unmapped.begin() + static_cast<std::ptrdiff_t>(pick));
   }
   return schedule;
+}
+
+Schedule two_phase_greedy(const Problem& problem, TieBreaker& ties,
+                          bool prefer_largest) {
+  if (fastpath::enabled()) {
+    return fastpath::two_phase_greedy_fast(problem, ties, prefer_largest);
+  }
+  return two_phase_greedy_reference(problem, ties, prefer_largest);
 }
 
 }  // namespace detail

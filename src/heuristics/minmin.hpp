@@ -32,8 +32,19 @@ class MaxMin final : public Heuristic {
 
 namespace detail {
 /// Shared two-phase driver; `prefer_largest` selects Max-Min's phase two.
+/// Dispatches to the incremental kernel (heuristics/fastpath/) when
+/// fastpath::enabled(), otherwise to the reference loop below.
 Schedule two_phase_greedy(const Problem& problem, TieBreaker& ties,
                           bool prefer_largest);
+
+/// The reference implementation: full O(tasks x machines) rescore every
+/// round. Always available — it is the oracle the differential suite
+/// (tests/test_fastpath_differential.cpp, tools/fuzz/) compares the fast
+/// path against, and the path every build dispatches to when the fast path
+/// is disabled (-DHCSCHED_FASTPATH=OFF, HCSCHED_FASTPATH=0 in the
+/// environment, or fastpath::set_mode(kForceOff)).
+Schedule two_phase_greedy_reference(const Problem& problem, TieBreaker& ties,
+                                    bool prefer_largest);
 }  // namespace detail
 
 }  // namespace hcsched::heuristics

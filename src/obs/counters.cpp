@@ -64,6 +64,7 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "ga_mutations",          "search_nodes_expanded",
     "iterative_runs",        "iterative_iterations",
     "pool_tasks_submitted",  "pool_tasks_completed",
+    "fastpath_rescores",     "fastpath_replays",
 };
 
 void atomic_store_max(std::atomic<std::uint64_t>& slot,

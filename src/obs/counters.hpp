@@ -45,6 +45,8 @@ enum class Counter : std::size_t {
   kIterativeIterations,       ///< iterations across all runs
   kPoolTasksSubmitted,        ///< ThreadPool::submit calls
   kPoolTasksCompleted,        ///< pool tasks finished
+  kFastpathRescores,          ///< fast-path kernel full task rescores
+  kFastpathReplays,           ///< fast-path kernel cached-decision replays
   kCount
 };
 

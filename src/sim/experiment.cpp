@@ -1,6 +1,7 @@
 #include "sim/experiment.hpp"
 
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "core/check.hpp"
@@ -22,6 +23,16 @@ std::vector<StudyRow> run_iterative_study(const StudyParams& params,
     rows[h].heuristic = params.heuristics[h];
   }
   std::mutex merge_mutex;
+
+  // Pin the two-phase greedy dispatch for the whole study (kAuto leaves the
+  // process-wide mode untouched, e.g. a CLI --no-fastpath override).
+  // Process-wide, but safe here: parallel_for_chunks blocks until every
+  // worker drains, so the override cannot leak into unrelated concurrent
+  // work.
+  std::optional<heuristics::fastpath::ScopedMode> fastpath_scope;
+  if (params.fastpath != heuristics::fastpath::Mode::kAuto) {
+    fastpath_scope.emplace(params.fastpath);
+  }
 
   pool.parallel_for_chunks(
       params.trials, [&](std::size_t begin, std::size_t end) {

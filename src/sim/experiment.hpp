@@ -18,6 +18,7 @@
 
 #include "etc/consistency.hpp"
 #include "etc/cvb_generator.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
 #include "rng/tie_break.hpp"
 #include "sim/stats.hpp"
 #include "sim/thread_pool.hpp"
@@ -33,6 +34,11 @@ struct StudyParams {
   rng::TiePolicy tie_policy = rng::TiePolicy::kDeterministic;
   /// Forward the previous mapping as a seed (Genitor's protocol).
   bool use_seeding = true;
+  /// Two-phase greedy dispatch for the whole study: kAuto inherits the
+  /// process-wide mode (build/env default or a CLI --no-fastpath override);
+  /// kForceOn/kForceOff pin one path for the study's duration (used to
+  /// compare study wall-clock like for like).
+  heuristics::fastpath::Mode fastpath = heuristics::fastpath::Mode::kAuto;
 };
 
 struct StudyRow {

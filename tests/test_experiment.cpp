@@ -53,6 +53,31 @@ TEST(Experiment, TheoremHeuristicsNeverChangeUnderDeterministicTies) {
   }
 }
 
+TEST(Experiment, StudyStatisticsIdenticalUnderBothDispatchPaths) {
+  // The fastpath knob may change study wall-clock, never study statistics:
+  // both forced modes must reproduce identical aggregates trial for trial.
+  StudyParams params = small_params();
+  params.heuristics = {"Min-Min", "Max-Min", "Duplex"};
+  params.tie_policy = hcsched::rng::TiePolicy::kRandom;
+  ThreadPool pool(2);
+  params.fastpath = hcsched::heuristics::fastpath::Mode::kForceOff;
+  const auto ref = run_iterative_study(params, pool);
+  params.fastpath = hcsched::heuristics::fastpath::Mode::kForceOn;
+  const auto fast = run_iterative_study(params, pool);
+  ASSERT_EQ(ref.size(), fast.size());
+  for (std::size_t h = 0; h < ref.size(); ++h) {
+    EXPECT_EQ(ref[h].machines_improved, fast[h].machines_improved);
+    EXPECT_EQ(ref[h].machines_unchanged, fast[h].machines_unchanged);
+    EXPECT_EQ(ref[h].machines_worsened, fast[h].machines_worsened);
+    EXPECT_EQ(ref[h].makespan_increases, fast[h].makespan_increases);
+    EXPECT_EQ(ref[h].original_makespan.mean(),
+              fast[h].original_makespan.mean())
+        << ref[h].heuristic;
+    EXPECT_EQ(ref[h].finish_delta.mean(), fast[h].finish_delta.mean())
+        << ref[h].heuristic;
+  }
+}
+
 TEST(Experiment, ResultsIndependentOfThreadCount) {
   const StudyParams params = small_params();
   ThreadPool one(1);

@@ -1,0 +1,323 @@
+// Differential suite for the incremental two-phase greedy kernel.
+//
+// The fast path (src/heuristics/fastpath/) must be *indistinguishable* from
+// the reference loop except for doing less work: identical assignment
+// sequences, completion-time vectors, TieBreaker decision/tie-event counts
+// and RNG/script consumption, under every tie policy and consistency class.
+// This file is the enforcement: seeded fuzz sweeps through
+// run_differential_case (shared with tools/fuzz/fastpath_fuzz.cpp), golden
+// pins against the paper's worked examples, a regression pinning the
+// reference's load-bearing phase-two list order, and the switch surface
+// itself. docs/FASTPATH.md documents the invariant being tested.
+//
+// covers: fastpath.cpp etc_view.cpp two_phase_fast.cpp differential.cpp
+// (stems named for the fastpath-differential lint rule)
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/iterative.hpp"
+#include "core/paper_examples.hpp"
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "etc/etc_matrix.hpp"
+#include "heuristics/duplex.hpp"
+#include "heuristics/fastpath/differential.hpp"
+#include "heuristics/fastpath/etc_view.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/registry.hpp"
+#include "obs/counters.hpp"
+#include "rng/rng.hpp"
+#include "rng/tie_break.hpp"
+
+namespace {
+
+namespace fastpath = hcsched::heuristics::fastpath;
+using fastpath::DifferentialCase;
+using fastpath::DifferentialOutcome;
+using fastpath::Mode;
+using fastpath::ScopedMode;
+using hcsched::etc::Consistency;
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::rng::TiePolicy;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+constexpr Consistency kConsistencies[] = {
+    Consistency::kConsistent,
+    Consistency::kSemiConsistent,
+    Consistency::kInconsistent,
+};
+
+/// Sweeps seeds x consistency classes x {Min-Min, Max-Min} for one tie
+/// policy, with problem sizes derived from the seed (8..64 tasks on 2..15
+/// machines), and asserts zero divergence. Returns the number of cases run
+/// so the suite can prove its own breadth.
+std::size_t sweep_policy(TiePolicy policy, bool subset,
+                         std::size_t num_seeds) {
+  std::size_t cases = 0;
+  for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
+    for (const Consistency consistency : kConsistencies) {
+      for (const bool prefer_largest : {false, true}) {
+        DifferentialCase c;
+        c.seed = seed * 1000003 + static_cast<std::uint64_t>(consistency);
+        c.tasks = 8 + (seed * 7) % 57;
+        c.machines = 2 + (seed * 3) % 14;
+        c.consistency = consistency;
+        c.policy = policy;
+        c.prefer_largest = prefer_largest;
+        c.subset = subset;
+        const DifferentialOutcome outcome =
+            fastpath::run_differential_case(c);
+        EXPECT_TRUE(outcome.equivalent)
+            << fastpath::describe(c) << ": " << outcome.divergence;
+        ++cases;
+      }
+    }
+  }
+  return cases;
+}
+
+// Together the three sweeps run 450 full-problem trials (25 seeds x 3
+// consistency classes x 2 heuristics x 3 policies), clearing the >= 200
+// trial / >= 2 class / >= 2 policy bar with margin.
+
+TEST(FastpathDifferential, DeterministicTiesFullProblems) {
+  EXPECT_EQ(sweep_policy(TiePolicy::kDeterministic, /*subset=*/false, 25),
+            150u);
+}
+
+TEST(FastpathDifferential, RandomTiesFullProblems) {
+  // Random ties are the hard case: a skipped or extra RNG draw anywhere
+  // desynchronizes every later decision, so equivalence here proves the
+  // replay bookkeeping exactly matches the reference's.
+  EXPECT_EQ(sweep_policy(TiePolicy::kRandom, /*subset=*/false, 25), 150u);
+}
+
+TEST(FastpathDifferential, ScriptedTiesFullProblems) {
+  EXPECT_EQ(sweep_policy(TiePolicy::kScripted, /*subset=*/false, 25), 150u);
+}
+
+TEST(FastpathDifferential, SubsetProblemsWithNonzeroReadyTimes) {
+  // Task/machine subsets with nonzero initial ready times — the shape the
+  // iterative technique feeds the heuristics after removing machines.
+  EXPECT_EQ(sweep_policy(TiePolicy::kDeterministic, /*subset=*/true, 10),
+            60u);
+  EXPECT_EQ(sweep_policy(TiePolicy::kRandom, /*subset=*/true, 10), 60u);
+}
+
+TEST(FastpathDifferential, NarrowEpsilonManufacturesManyTies) {
+  // Large v_task/v_machine CVB draws rarely tie to 1e-9; integer-valued
+  // matrices (v -> small, rounded means) tie constantly. Exercise the tied
+  // regime explicitly: small mean forces coincident completion times.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const auto policy : {TiePolicy::kDeterministic, TiePolicy::kRandom,
+                              TiePolicy::kScripted}) {
+      DifferentialCase c;
+      c.seed = seed;
+      c.tasks = 20;
+      c.machines = 4;
+      c.policy = policy;
+      c.mean_task_time = 3.0;  // CVB rounds to a handful of distinct values
+      c.v_task = 0.3;
+      c.v_machine = 0.3;
+      const DifferentialOutcome outcome = fastpath::run_differential_case(c);
+      EXPECT_TRUE(outcome.equivalent)
+          << fastpath::describe(c) << ": " << outcome.divergence;
+    }
+  }
+}
+
+#if HCSCHED_TRACE
+TEST(FastpathDifferential, KernelEvaluatesStrictlyFewerEtcCells) {
+  // The point of the kernel: same output, fewer scored cells. On a
+  // non-trivial instance the reference charges rounds x tasks x machines
+  // while the kernel only rescores invalidated tasks.
+  DifferentialCase c;
+  c.seed = 42;
+  c.tasks = 96;
+  c.machines = 16;
+  const DifferentialOutcome outcome = fastpath::run_differential_case(c);
+  ASSERT_TRUE(outcome.equivalent) << outcome.divergence;
+  EXPECT_GT(outcome.reference_cell_evals, 0u);
+  EXPECT_LT(outcome.fastpath_cell_evals, outcome.reference_cell_evals);
+}
+#endif
+
+TEST(FastpathDifferential, IterativeTechniqueIdenticalUnderBothPaths) {
+  // End-to-end through core::IterativeMinimizer: the full iterative
+  // technique (machine removal, seeding off as in the paper's greedy
+  // protocol) must produce identical trajectories whichever path maps.
+  for (const char* name : {"Min-Min", "Max-Min", "Duplex"}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      hcsched::etc::CvbParams params;
+      params.num_tasks = 40;
+      params.num_machines = 8;
+      params.mean_task_time = 100.0;
+      Rng rng(seed);
+      const EtcMatrix matrix = hcsched::etc::CvbEtcGenerator(params)
+                                   .generate(rng);
+      const Problem problem = Problem::full(matrix);
+      const auto heuristic = hcsched::heuristics::make_heuristic(name);
+      const hcsched::core::IterativeMinimizer minimizer;
+
+      const auto run_with = [&](Mode mode, std::uint64_t tie_seed) {
+        const ScopedMode scope(mode);
+        Rng tie_rng(tie_seed);
+        TieBreaker ties(tie_rng);
+        return minimizer.run(*heuristic, problem, ties);
+      };
+      const auto ref = run_with(Mode::kForceOff, seed * 31);
+      const auto fast = run_with(Mode::kForceOn, seed * 31);
+
+      ASSERT_EQ(ref.iterations.size(), fast.iterations.size())
+          << name << " seed " << seed;
+      for (std::size_t i = 0; i < ref.iterations.size(); ++i) {
+        EXPECT_EQ(ref.iterations[i].makespan, fast.iterations[i].makespan)
+            << name << " seed " << seed << " iteration " << i;
+        EXPECT_EQ(ref.iterations[i].makespan_machine,
+                  fast.iterations[i].makespan_machine)
+            << name << " seed " << seed << " iteration " << i;
+      }
+      ASSERT_EQ(ref.final_finishing_times.size(),
+                fast.final_finishing_times.size());
+      for (std::size_t i = 0; i < ref.final_finishing_times.size(); ++i) {
+        EXPECT_EQ(ref.final_finishing_times[i], fast.final_finishing_times[i])
+            << name << " seed " << seed << " machine entry " << i;
+      }
+    }
+  }
+}
+
+TEST(FastpathDifferential, PaperExamplesGoldenPinsUnderFastpath) {
+  // The paper's worked examples (Tables 1-17) are the repo's ground truth;
+  // they must keep matching with the kernel forced on. Only the Min-Min
+  // example dispatches through the kernel, but running all six keeps this a
+  // pin on the whole dispatch surface.
+  const ScopedMode scope(Mode::kForceOn);
+  for (const auto& example : hcsched::core::all_paper_examples()) {
+    const auto result = hcsched::core::run_paper_example(example);
+    EXPECT_TRUE(hcsched::core::example_matches(example, result))
+        << example.id << " (" << example.table_refs << ")";
+  }
+}
+
+TEST(FastpathDifferential, PhaseTwoTieBreaksInOriginalTaskOrder) {
+  // Regression for the reference's erase()-maintained list: phase-two ties
+  // resolve by position, and positions must stay in original task order.
+  // Here t1 and t2 tie at completion time 3 in round 2; the earliest
+  // original task (t1) must win. A swap-and-pop "optimization" of the
+  // reference's erase would move t2 into t1's position after t0 is mapped,
+  // flip the tie to t2, and hand t1 a different machine — a different
+  // mapping, not just a different order.
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 10}, {4, 3}, {9, 3}});
+  const auto run = [&](Mode mode) {
+    const ScopedMode scope(mode);
+    TieBreaker ties;
+    return hcsched::heuristics::detail::two_phase_greedy(
+        Problem::full(m), ties, /*prefer_largest=*/false);
+  };
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const Schedule s = run(mode);
+    const auto& order = s.assignment_order();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0].task, 0);
+    EXPECT_EQ(order[1].task, 1);
+    EXPECT_EQ(order[2].task, 2);
+    EXPECT_EQ(s.machine_of(0), std::optional<hcsched::sched::MachineId>(0));
+    EXPECT_EQ(s.machine_of(1), std::optional<hcsched::sched::MachineId>(1));
+    EXPECT_EQ(s.machine_of(2), std::optional<hcsched::sched::MachineId>(1));
+    EXPECT_DOUBLE_EQ(s.makespan(), 6.0);
+  }
+}
+
+TEST(FastpathDifferential, EtcViewIsVerbatimCopyOfProblemCells) {
+  const EtcMatrix m =
+      EtcMatrix::from_rows({{2.5, 9.0, 1.0}, {6.5, 4.0, 8.0}});
+  // Subset view: task 1 only, machines {2, 0}, to exercise the gather's
+  // index mapping rather than a straight memcpy.
+  const Problem p(m, {1}, {2, 0}, {0.0, 0.0});
+  const fastpath::EtcView view(p);
+  ASSERT_EQ(view.num_tasks(), 1u);
+  ASSERT_EQ(view.num_slots(), 2u);
+  EXPECT_EQ(view.row(0)[0], 8.0);
+  EXPECT_EQ(view.row(0)[1], 6.5);
+}
+
+TEST(FastpathSwitch, EnvValueParsing) {
+  EXPECT_FALSE(fastpath::env_value_enables("0"));
+  EXPECT_FALSE(fastpath::env_value_enables("off"));
+  EXPECT_FALSE(fastpath::env_value_enables("OFF"));
+  EXPECT_FALSE(fastpath::env_value_enables("false"));
+  EXPECT_FALSE(fastpath::env_value_enables("False"));
+  EXPECT_FALSE(fastpath::env_value_enables("no"));
+  EXPECT_TRUE(fastpath::env_value_enables(nullptr));
+  EXPECT_TRUE(fastpath::env_value_enables(""));
+  EXPECT_TRUE(fastpath::env_value_enables("1"));
+  EXPECT_TRUE(fastpath::env_value_enables("on"));
+  EXPECT_TRUE(fastpath::env_value_enables("anything"));
+}
+
+TEST(FastpathSwitch, ScopedModeForcesAndRestores) {
+  const Mode original = fastpath::mode();
+  {
+    const ScopedMode off(Mode::kForceOff);
+    EXPECT_EQ(fastpath::mode(), Mode::kForceOff);
+    EXPECT_FALSE(fastpath::enabled());
+    {
+      const ScopedMode on(Mode::kForceOn);
+      EXPECT_EQ(fastpath::mode(), Mode::kForceOn);
+      EXPECT_EQ(fastpath::enabled(), fastpath::compiled());
+    }
+    EXPECT_EQ(fastpath::mode(), Mode::kForceOff);
+  }
+  EXPECT_EQ(fastpath::mode(), original);
+}
+
+TEST(FastpathSwitch, DispatcherFollowsMode) {
+  // Not much to distinguish the paths behaviorally (that is the point), so
+  // pin the dispatch itself through the cell-evaluation counter: on a
+  // many-round instance the kernel charges strictly fewer cells.
+  const EtcMatrix m = [] {
+    hcsched::etc::CvbParams params;
+    params.num_tasks = 48;
+    params.num_machines = 8;
+    Rng rng(7);
+    return hcsched::etc::CvbEtcGenerator(params).generate(rng);
+  }();
+  const Problem problem = Problem::full(m);
+#if HCSCHED_TRACE
+  const auto evals_under = [&](Mode mode) {
+    const ScopedMode scope(mode);
+    TieBreaker ties;
+    const auto before = hcsched::obs::counters::snapshot();
+    (void)hcsched::heuristics::detail::two_phase_greedy(problem, ties,
+                                                        false);
+    const auto after = hcsched::obs::counters::snapshot();
+    return after.delta_since(
+        before)[hcsched::obs::Counter::kEtcCellEvaluations];
+  };
+  if (fastpath::compiled()) {
+    EXPECT_LT(evals_under(Mode::kForceOn), evals_under(Mode::kForceOff));
+  } else {
+    // -DHCSCHED_FASTPATH=OFF: kForceOn is a documented no-op and both
+    // dispatches run the reference loop.
+    EXPECT_EQ(evals_under(Mode::kForceOn), evals_under(Mode::kForceOff));
+  }
+#else
+  // Without counters just exercise both dispatch directions.
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const ScopedMode scope(mode);
+    TieBreaker ties;
+    EXPECT_TRUE(hcsched::heuristics::detail::two_phase_greedy(problem, ties,
+                                                              false)
+                    .complete());
+  }
+#endif
+}
+
+}  // namespace

@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <string>
 
+#include "core/iterative.hpp"
 #include "etc/cvb_generator.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
 #include "heuristics/kpb.hpp"
 #include "heuristics/mct.hpp"
 #include "heuristics/met.hpp"
@@ -134,6 +136,62 @@ TEST(HeuristicComparisons, KpbWithSingletonSubsetEqualsMet) {
     const Schedule a = kpb_met.map(Problem::full(m), t1);
     const Schedule b = met.map(Problem::full(m), t2);
     EXPECT_TRUE(a.same_mapping(b)) << "seed " << seed;
+  }
+}
+
+TEST(TwoPhaseGreedyInvariants, NeverAssignsToRemovedMachine) {
+  // Under the iterative technique, every machine the previous iterations
+  // froze is gone from the shrunk Problem; neither greedy path may ever
+  // assign a task to one — whichever dispatch mode is active.
+  using hcsched::heuristics::fastpath::Mode;
+  using hcsched::heuristics::fastpath::ScopedMode;
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const ScopedMode scope(mode);
+    for (const char* name : {"Min-Min", "Max-Min"}) {
+      const auto heuristic = hcsched::heuristics::make_heuristic(name);
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const EtcMatrix m = random_matrix(seed + 200, 24, 6);
+        const hcsched::core::IterativeMinimizer minimizer;
+        TieBreaker ties;
+        const auto result =
+            minimizer.run(*heuristic, Problem::full(m), ties);
+        std::vector<hcsched::sched::MachineId> removed;
+        for (const auto& record : result.iterations) {
+          // Machines removed by *earlier* iterations must be invisible to
+          // this iteration's mapping.
+          for (const hcsched::sched::MachineId gone : removed) {
+            for (const auto& a : record.schedule.assignment_order()) {
+              EXPECT_NE(a.machine, gone)
+                  << name << " seed " << seed << " iteration "
+                  << record.index;
+            }
+          }
+          removed.push_back(record.makespan_machine);
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoPhaseGreedyInvariants, MinMinRoundBestCompletionTimesMonotone) {
+  // Min-Min picks the globally smallest attainable completion time each
+  // round, and ready times only grow, so the sequence of assigned finish
+  // times is non-decreasing. Holds for both dispatch paths.
+  using hcsched::heuristics::fastpath::Mode;
+  using hcsched::heuristics::fastpath::ScopedMode;
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const ScopedMode scope(mode);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const EtcMatrix m = random_matrix(seed + 300, 32, 5);
+      TieBreaker ties;
+      const Schedule s = hcsched::heuristics::detail::two_phase_greedy(
+          Problem::full(m), ties, /*prefer_largest=*/false);
+      const auto& order = s.assignment_order();
+      for (std::size_t i = 1; i < order.size(); ++i) {
+        EXPECT_GE(order[i].finish, order[i - 1].finish - 1e-9)
+            << "seed " << seed << " assignment " << i;
+      }
+    }
   }
 }
 

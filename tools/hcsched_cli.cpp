@@ -20,6 +20,8 @@
 //
 // Global flags (any subcommand):
 //   --trace FILE.jsonl   stream structured events (JSON Lines) to FILE
+//   --no-fastpath        force the reference two-phase greedy loop (the
+//                        HCSCHED_FASTPATH env var does the same for kAuto)
 //   --version / -V       print the version and exit
 //
 // Exit status: 0 on success, 1 on bad usage or (witness) not found.
@@ -40,6 +42,7 @@
 #include "etc/cvb_generator.hpp"
 #include "etc/etc_io.hpp"
 #include "etc/range_generator.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
 #include "heuristics/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -67,7 +70,8 @@ class Args {
         return;
       }
       key = key.substr(2);
-      if (key == "no-seeding" || key == "json") {  // boolean flags
+      if (key == "no-seeding" || key == "json" ||
+          key == "no-fastpath") {  // boolean flags
         values_[key] = "true";
         continue;
       }
@@ -110,7 +114,7 @@ void print_usage(std::FILE* out) {
       "<list|generate|map|iterate|report|study|witness|optimal|online> "
       "[--flags]\n"
       "global flags: --trace FILE.jsonl (stream structured events), "
-      "--version\n"
+      "--no-fastpath (reference two-phase greedy loop), --version\n"
       "see the header of tools/hcsched_cli.cpp for the full flag list\n");
 }
 
@@ -389,6 +393,9 @@ int main(int argc, char** argv) {
   // subcommand streams its events; the scoped sink flushes on exit.
   std::optional<obs::ScopedSink> trace_scope;
   try {
+    if (args.get("no-fastpath")) {
+      heuristics::fastpath::set_mode(heuristics::fastpath::Mode::kForceOff);
+    }
     if (const auto trace_path = args.get("trace")) {
       if (!obs::kTraceCompiledIn) {
         std::fprintf(stderr,

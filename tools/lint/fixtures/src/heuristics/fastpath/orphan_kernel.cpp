@@ -1,0 +1,5 @@
+// Deliberate fastpath-differential violation: a kernel file whose stem is
+// named by no tests/test_fastpath*.cpp suite.
+namespace fixture {
+int orphan_kernel_marker() { return 1; }
+}  // namespace fixture

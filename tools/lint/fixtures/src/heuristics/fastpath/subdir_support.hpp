@@ -1,0 +1,9 @@
+// Not registered with registry.cpp on purpose: headers in subdirectories of
+// src/heuristics/ are support code, and the heuristic-registry rule must
+// skip them (only the fastpath-differential rule applies here — satisfied
+// by the allow below, standing in for a file that is not a kernel).
+// hcsched-lint: allow(fastpath-differential)
+#pragma once
+namespace fixture {
+inline int subdir_support_marker() { return 3; }
+}  // namespace fixture

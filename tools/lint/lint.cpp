@@ -2,11 +2,19 @@
 //
 // Enforces project invariants the compiler cannot see:
 //
-//   heuristic-registry  every heuristic header under src/heuristics/ is
-//                       included by src/heuristics/registry.cpp, so new
-//                       heuristics cannot silently miss name-based lookup
+//   heuristic-registry  every heuristic header directly under
+//                       src/heuristics/ is included by
+//                       src/heuristics/registry.cpp, so new heuristics
+//                       cannot silently miss name-based lookup
 //                       (heuristic.hpp and registry.hpp are the framework
-//                       itself and exempt).
+//                       itself and exempt; subdirectories such as
+//                       src/heuristics/fastpath/ hold support kernels, not
+//                       registrable heuristics, and are out of scope).
+//   fastpath-differential
+//                       every source file under src/heuristics/fastpath/ is
+//                       named in a tests/test_fastpath*.cpp differential
+//                       suite, so a new kernel file cannot land without
+//                       reference-equivalence coverage.
 //   trace-guard         raw observability calls (obs::counters::add,
 //                       obs::Tracer::emit, histogram feeds) outside src/obs/
 //                       sit inside an #if HCSCHED_TRACE region or use the
@@ -137,6 +145,12 @@ void check_heuristic_registry(const std::vector<SourceFile>& files,
         f.path.extension() != ".hpp") {
       continue;
     }
+    // Only headers directly in src/heuristics/ declare registrable
+    // heuristics; subdirectories (e.g. fastpath/) are support code covered
+    // by their own rules.
+    const std::string_view below_heuristics =
+        std::string_view(f.relative).substr(sizeof("src/heuristics/") - 1);
+    if (below_heuristics.find('/') != std::string_view::npos) continue;
     const std::string stem = f.path.stem().string();
     if (stem == "heuristic" || stem == "registry") continue;  // framework
     if (file_allows(f, "heuristic-registry")) continue;
@@ -147,6 +161,37 @@ void check_heuristic_registry(const std::vector<SourceFile>& files,
           "header is not included by src/heuristics/registry.cpp; register "
           "the heuristic (or mark the file '// hcsched-lint: "
           "allow(heuristic-registry)' if it is a wrapper)"});
+    }
+  }
+}
+
+void check_fastpath_differential(const std::vector<SourceFile>& files,
+                                 std::vector<Violation>& out) {
+  // Concatenated text of every differential suite. A kernel file counts as
+  // covered when any tests/test_fastpath*.cpp names its stem (idiomatically
+  // in a leading "// covers: ..." comment, but any mention qualifies).
+  std::string suites_text;
+  for (const SourceFile& f : files) {
+    const std::string name = f.path.filename().string();
+    if (starts_with(f.relative, "tests/") &&
+        name.rfind("test_fastpath", 0) == 0 && f.path.extension() == ".cpp") {
+      for (const std::string& line : f.lines) {
+        suites_text += line;
+        suites_text += '\n';
+      }
+    }
+  }
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "src/heuristics/fastpath/")) continue;
+    if (file_allows(f, "fastpath-differential")) continue;
+    const std::string stem = f.path.stem().string();
+    if (suites_text.find(stem) == std::string::npos) {
+      out.push_back(Violation{
+          f.relative, 0, "fastpath-differential",
+          "kernel file is not named by any tests/test_fastpath*.cpp "
+          "differential suite; add coverage (or mark the file "
+          "'// hcsched-lint: allow(fastpath-differential)' if it is not a "
+          "kernel)"});
     }
   }
 }
@@ -280,6 +325,7 @@ int main(int argc, char** argv) {
 
   std::vector<Violation> violations;
   check_heuristic_registry(files, violations);
+  check_fastpath_differential(files, violations);
   check_trace_guard(files, violations);
   check_test_registration(root, files, violations);
   check_include_hygiene(files, violations);
