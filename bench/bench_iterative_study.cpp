@@ -7,7 +7,9 @@
 
 #include <cstdio>
 
+#include "core/cancel.hpp"
 #include "report/table.hpp"
+#include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
 
 namespace {
@@ -78,9 +80,34 @@ void BM_StudyCell(benchmark::State& state) {
                           static_cast<std::int64_t>(params.trials));
 }
 
+void BM_StudyCellIdleRobustness(benchmark::State& state) {
+  // Same study as BM_StudyCell, but through the robustness surface: a
+  // never-cancelled token threaded down to every chunk while the fault
+  // sites stay disarmed. The disabled machinery costs one relaxed atomic
+  // load per site and one thread-local read per cancellation poll, so this
+  // must benchmark indistinguishably from BM_StudyCell — compare the two
+  // to pin the overhead.
+  ThreadPool pool;
+  StudyParams params = base_params();
+  params.trials = static_cast<std::size_t>(state.range(0));
+  const hcsched::core::CancelToken token;
+  hcsched::sim::StudyHooks hooks;
+  hooks.cancel = &token;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hcsched::sim::run_iterative_study_report(params, pool, hooks));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(params.trials));
+}
+
 }  // namespace
 
 BENCHMARK(BM_StudyCell)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StudyCellIdleRobustness)
+    ->Arg(5)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   print_study();

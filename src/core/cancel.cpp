@@ -1,0 +1,26 @@
+#include "core/cancel.hpp"
+
+namespace hcsched::core {
+
+namespace {
+
+/// Current token of the calling thread; nullptr outside any ScopedCancel.
+thread_local const CancelToken* t_current_token = nullptr;
+
+}  // namespace
+
+const CancelToken* current_cancel_token() noexcept { return t_current_token; }
+
+bool cancellation_requested() noexcept {
+  const CancelToken* token = t_current_token;
+  return token != nullptr && token->cancelled();
+}
+
+ScopedCancel::ScopedCancel(const CancelToken* token) noexcept
+    : previous_(t_current_token) {
+  if (token != nullptr) t_current_token = token;
+}
+
+ScopedCancel::~ScopedCancel() { t_current_token = previous_; }
+
+}  // namespace hcsched::core

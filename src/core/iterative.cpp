@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/cancel.hpp"
 #include "core/check.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
 #include "obs/counters.hpp"
@@ -134,8 +135,13 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
     const IterationRecord& done = result.iterations.back();
     HCSCHED_COUNT(obs::Counter::kIterativeIterations);
 
+    // Cancellation degrades gracefully: the just-produced mapping (itself a
+    // best-so-far result from any cancelled anytime heuristic) becomes the
+    // terminal iteration, freezing every surviving machine at its current
+    // completion time — the result stays structurally valid, just with
+    // fewer minimization rounds applied.
     if (done.problem().num_machines() == 1 ||
-        done.problem().num_tasks() == 0) {
+        done.problem().num_tasks() == 0 || cancellation_requested()) {
       // Terminal iteration: every surviving machine keeps this mapping's
       // completion time.
 #if HCSCHED_TRACE

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "ga/operators.hpp"
 #include "heuristics/minmin.hpp"
 #include "obs/counters.hpp"
@@ -52,6 +53,9 @@ Schedule Genitor::do_map_seeded(const Problem& problem,
   double best = population.best().makespan;
   std::size_t stale = 0;
   for (std::size_t step = 0; step < config_.total_steps; ++step) {
+    // Anytime contract: a cancelled budget stops evolution within one
+    // steady-state step; the population's best is always a complete mapping.
+    if (core::cancellation_requested()) break;
     ++last_run_.steps_executed;
     HCSCHED_COUNT(obs::Counter::kGaSteps);
     // Crossover trial (Figure 1, step 3a).

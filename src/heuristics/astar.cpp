@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "obs/counters.hpp"
 
 namespace hcsched::heuristics {
@@ -111,6 +112,9 @@ Schedule AStar::do_map(const Problem& problem, TieBreaker& ties) const {
       break;
     }
     if (++expansions > config_.max_expansions) break;
+    // Anytime contract: a cancelled budget ends the search within one
+    // expansion; the greedy fallback below still emits a complete mapping.
+    if (core::cancellation_requested()) break;
     HCSCHED_COUNT(obs::Counter::kSearchNodesExpanded);
     for (std::size_t slot = 0; slot < machines; ++slot) {
       auto child = std::make_shared<Node>();

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "ga/operators.hpp"
 #include "heuristics/minmin.hpp"
 
@@ -61,6 +62,9 @@ Schedule Gsa::do_map_seeded(const Problem& problem, TieBreaker& ties,
   double temperature = population[best_index()].makespan;
   for (std::size_t step = 0; step < config_.steps && temperature > 1e-9;
        ++step) {
+    // Anytime contract: stop within one step once a budget is cancelled;
+    // the population's best is always a complete mapping.
+    if (core::cancellation_requested()) break;
     const std::size_t elite = best_index();
     // Two random parents -> crossover -> one mutated offspring.
     const std::size_t pa = static_cast<std::size_t>(

@@ -2,6 +2,7 @@
 
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "sim/fault/fault.hpp"  // dependency-light by design (see its header)
 
 #if HCSCHED_TRACE
 #include <chrono>
@@ -49,6 +50,10 @@ class CallScope {
 }  // namespace
 
 Schedule Heuristic::map(const Problem& problem, TieBreaker& ties) const {
+  // The heuristic-map fault site, keyed by the thread's current fault key
+  // (the study installs its (trial, heuristic) key). One relaxed atomic
+  // load when nothing is armed.
+  sim::fault::maybe_inject_here(sim::fault::Site::kHeuristicMap);
 #if HCSCHED_TRACE
   const CallScope scope(*this, problem, /*seeded=*/false);
 #endif
@@ -57,6 +62,7 @@ Schedule Heuristic::map(const Problem& problem, TieBreaker& ties) const {
 
 Schedule Heuristic::map_seeded(const Problem& problem, TieBreaker& ties,
                                const Schedule* seed) const {
+  sim::fault::maybe_inject_here(sim::fault::Site::kHeuristicMap);
 #if HCSCHED_TRACE
   const CallScope scope(*this, problem, /*seeded=*/seed != nullptr);
 #endif

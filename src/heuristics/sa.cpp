@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "ga/operators.hpp"
 #include "heuristics/minmin.hpp"
 
@@ -46,6 +47,9 @@ Schedule SimulatedAnnealing::do_map_seeded(const Problem& problem,
        step < config_.steps && temperature > config_.min_temperature &&
        problem.num_tasks() > 0;
        ++step) {
+    // Anytime contract: a cancelled budget stops the walk within one step;
+    // `best` is always a complete, valid mapping.
+    if (core::cancellation_requested()) break;
     ga::Chromosome candidate = current;
     ga::mutate(candidate, problem.num_machines(), rng);
     const double span = candidate.evaluate(problem);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/cancel.hpp"
 #include "heuristics/minmin.hpp"
 
 namespace hcsched::heuristics {
@@ -105,10 +106,14 @@ Schedule TabuSearch::do_map_seeded(const Problem& problem, TieBreaker& ties,
 
   const std::size_t min_distance = std::max<std::size_t>(1, current.size() / 2);
   for (std::size_t hop = 0; hop <= config_.max_long_hops; ++hop) {
+    // Anytime contract: stop between hops (and between short-hop descents)
+    // once a budget is cancelled; `best` stays a complete mapping.
+    if (core::cancellation_requested()) break;
     // Short-hop descent to a local minimum.
     std::vector<double> load = loads_of(problem, current);
     double span = current.evaluate(problem);
     while (best_short_hop(problem, current, load, span)) {
+      if (core::cancellation_requested()) break;
     }
     if (span < best_span) {
       best = current;

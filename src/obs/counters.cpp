@@ -65,6 +65,9 @@ constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
     "iterative_runs",        "iterative_iterations",
     "pool_tasks_submitted",  "pool_tasks_completed",
     "fastpath_rescores",     "fastpath_replays",
+    "faults_injected",       "trials_quarantined",
+    "studies_cancelled",     "checkpoint_trials_written",
+    "checkpoint_trials_replayed", "checkpoint_corrupt_lines",
 };
 
 void atomic_store_max(std::atomic<std::uint64_t>& slot,

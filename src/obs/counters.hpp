@@ -47,6 +47,12 @@ enum class Counter : std::size_t {
   kPoolTasksCompleted,        ///< pool tasks finished
   kFastpathRescores,          ///< fast-path kernel full task rescores
   kFastpathReplays,           ///< fast-path kernel cached-decision replays
+  kFaultsInjected,            ///< fault::maybe_inject decisions that fired
+  kTrialsQuarantined,         ///< study trials captured instead of aborting
+  kStudiesCancelled,          ///< studies stopped early by a CancelToken
+  kCheckpointTrialsWritten,   ///< trial outcomes appended to a checkpoint
+  kCheckpointTrialsReplayed,  ///< trials resumed from a checkpoint
+  kCheckpointCorruptLines,    ///< checkpoint lines skipped as unreadable
   kCount
 };
 

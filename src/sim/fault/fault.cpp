@@ -1,0 +1,208 @@
+#include "sim/fault/fault.hpp"
+
+#include <array>
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace hcsched::sim::fault {
+
+namespace {
+
+constexpr std::array<std::string_view, kNumSites> kSiteNames = {
+    "etc-generate",
+    "heuristic-map",
+    "pool-job-start",
+    "checkpoint-write",
+};
+
+struct Registry {
+  std::mutex mutex{};
+  std::array<std::optional<FaultPlan>, kNumSites> plans{};
+  /// Bitmask of armed sites; the hot-path check. Relaxed is enough: a
+  /// caller racing an arm/disarm may miss the very first decisions, which
+  /// is inherent to process-global arming and irrelevant to determinism
+  /// (tests arm before running).
+  std::atomic<std::uint32_t> armed_mask{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+thread_local std::uint64_t t_fault_key = 0;
+
+/// One-shot environment arming: HCSCHED_FAULT="<spec>[,<spec>...]". Runs
+/// during static initialization so every binary (CLI, tests, benches)
+/// honors the variable without explicit setup.
+const bool g_env_armed = [] {
+  const char* env = std::getenv("HCSCHED_FAULT");
+  if (env == nullptr) return false;
+  std::string_view specs(env);
+  bool armed_any = false;
+  while (!specs.empty()) {
+    const std::size_t comma = specs.find(',');
+    const std::string_view one = specs.substr(0, comma);
+    if (const auto plan = parse_spec(one)) {
+      arm(*plan);
+      armed_any = true;
+    }
+    if (comma == std::string_view::npos) break;
+    specs.remove_prefix(comma + 1);
+  }
+  return armed_any;
+}();
+
+}  // namespace
+
+std::string_view to_string(Site site) noexcept {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+std::optional<Site> parse_site(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kNumSites; ++i) {
+    if (kSiteNames[i] == name) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+FaultInjected::FaultInjected(Site site, std::uint64_t key)
+    : std::runtime_error("fault injected at " + std::string(to_string(site)) +
+                         " (key " + std::to_string(key) + ")"),
+      site_(site),
+      key_(key) {}
+
+std::optional<FaultPlan> parse_spec(std::string_view spec) {
+  const std::size_t first = spec.find(':');
+  if (first == std::string_view::npos) return std::nullopt;
+  const auto site = parse_site(spec.substr(0, first));
+  if (!site) return std::nullopt;
+
+  std::string_view rest = spec.substr(first + 1);
+  const std::size_t second = rest.find(':');
+  const std::string_view rate_text = rest.substr(0, second);
+
+  // std::from_chars<double> is not implemented everywhere; strtod on a
+  // NUL-terminated copy is portable and strict enough with a full-consume
+  // check.
+  const std::string rate_copy(rate_text);
+  if (rate_copy.empty()) return std::nullopt;
+  char* rate_end = nullptr;
+  const double rate = std::strtod(rate_copy.c_str(), &rate_end);
+  if (rate_end != rate_copy.c_str() + rate_copy.size()) return std::nullopt;
+  if (!(rate >= 0.0 && rate <= 1.0)) return std::nullopt;
+
+  std::uint64_t seed = 1;
+  if (second != std::string_view::npos) {
+    const std::string_view seed_text = rest.substr(second + 1);
+    if (seed_text.empty()) return std::nullopt;
+    const auto [ptr, ec] = std::from_chars(
+        seed_text.data(), seed_text.data() + seed_text.size(), seed);
+    if (ec != std::errc{} || ptr != seed_text.data() + seed_text.size()) {
+      return std::nullopt;
+    }
+  }
+  return FaultPlan{*site, rate, seed};
+}
+
+void arm(const FaultPlan& plan) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.plans[static_cast<std::size_t>(plan.site)] = plan;
+  r.armed_mask.fetch_or(1u << static_cast<std::uint32_t>(plan.site),
+                        std::memory_order_relaxed);
+}
+
+void disarm(Site site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.plans[static_cast<std::size_t>(site)].reset();
+  r.armed_mask.fetch_and(~(1u << static_cast<std::uint32_t>(site)),
+                         std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& plan : r.plans) plan.reset();
+  r.armed_mask.store(0, std::memory_order_relaxed);
+}
+
+std::optional<FaultPlan> armed(Site site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return r.plans[static_cast<std::size_t>(site)];
+}
+
+bool any_armed() noexcept {
+  return registry().armed_mask.load(std::memory_order_relaxed) != 0;
+}
+
+double decision_value(const FaultPlan& plan, std::uint64_t key) noexcept {
+  // Two SplitMix64 rounds: the first decorrelates (seed, site), the second
+  // folds in the key. Depends on nothing else, so the decision for a given
+  // (plan, key) is identical on every thread, run, and platform.
+  rng::SplitMix64 salt(plan.seed ^
+                       (static_cast<std::uint64_t>(plan.site) + 1) *
+                           0xA24BAED4963EE407ULL);
+  rng::SplitMix64 mix(salt.next() ^ key);
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+bool should_inject(Site site, std::uint64_t key) noexcept {
+  Registry& r = registry();
+  if ((r.armed_mask.load(std::memory_order_relaxed) &
+       (1u << static_cast<std::uint32_t>(site))) == 0) {
+    return false;
+  }
+  std::optional<FaultPlan> plan;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    plan = r.plans[static_cast<std::size_t>(site)];
+  }
+  if (!plan) return false;  // raced a disarm
+  if (plan->rate >= 1.0) return true;
+  if (plan->rate <= 0.0) return false;
+  return decision_value(*plan, key) < plan->rate;
+}
+
+void maybe_inject(Site site, std::uint64_t key) {
+  if (!any_armed()) return;  // the disarmed fast path
+  if (!should_inject(site, key)) return;
+  HCSCHED_COUNT(obs::Counter::kFaultsInjected);
+  HCSCHED_TRACE_EVENT("fault.injected",
+                      {{"site", obs::JsonValue(to_string(site))},
+                       {"key", obs::JsonValue(key)}});
+  throw FaultInjected(site, key);
+}
+
+void maybe_inject_here(Site site) { maybe_inject(site, t_fault_key); }
+
+std::uint64_t current_key() noexcept { return t_fault_key; }
+
+ScopedKey::ScopedKey(std::uint64_t key) noexcept : previous_(t_fault_key) {
+  t_fault_key = key;
+}
+
+ScopedKey::~ScopedKey() { t_fault_key = previous_; }
+
+ScopedFault::ScopedFault(const FaultPlan& plan)
+    : site_(plan.site), previous_(armed(plan.site)) {
+  arm(plan);
+}
+
+ScopedFault::~ScopedFault() {
+  if (previous_) {
+    arm(*previous_);
+  } else {
+    disarm(site_);
+  }
+}
+
+}  // namespace hcsched::sim::fault

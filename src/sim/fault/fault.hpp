@@ -1,0 +1,137 @@
+// Deterministic fault injection for the Monte-Carlo study engine.
+//
+// A small registry of *named injection points* (Site) sits on the paths a
+// long-running study depends on: ETC generation, the heuristic-map entry
+// point, thread-pool job start, and checkpoint writes. Each site can be
+// armed with a FaultPlan {rate, seed}; an armed site throws a typed
+// FaultInjected error when its deterministic decision function fires. The
+// decision depends only on (site, plan seed, key) — never on wall clock,
+// thread identity, or call order — so a faulty run is exactly reproducible
+// and tests can predict the injected set up front.
+//
+// Arming:
+//   * API        — fault::arm({Site::kHeuristicMap, 0.01, 42}) or the RAII
+//                  ScopedFault used by tests;
+//   * environment — HCSCHED_FAULT="<site>:<rate>[:<seed>]", comma-separated
+//                  for several sites, read once at process start, e.g.
+//                  HCSCHED_FAULT=heuristic-map:0.01:42
+//
+// The hot path pays one relaxed atomic load when nothing is armed (the
+// common case); arming is process-global and mutex-guarded. Keys are
+// supplied by the caller (the study uses the trial index); sites buried in
+// lower layers (the Heuristic NVI wrapper) read the thread-local key
+// installed by fault::ScopedKey.
+//
+// This header is dependency-light by design (rng + stdlib only) so any
+// layer — heuristics, sim, tools — may include it without cycles.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hcsched::sim::fault {
+
+/// Registered injection points. docs/ROBUSTNESS.md carries the registry
+/// table; add new sites at the end and extend kSiteNames in fault.cpp.
+enum class Site : std::size_t {
+  kEtcGenerate = 0,   ///< per-trial ETC matrix generation
+  kHeuristicMap,      ///< Heuristic::map / map_seeded NVI entry
+  kPoolJobStart,      ///< ThreadPool job about to execute (worker loss)
+  kCheckpointWrite,   ///< CheckpointWriter::append_trial
+  kCount
+};
+
+inline constexpr std::size_t kNumSites = static_cast<std::size_t>(Site::kCount);
+
+/// Stable kebab-case name (the HCSCHED_FAULT / --fault spelling).
+std::string_view to_string(Site site) noexcept;
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<Site> parse_site(std::string_view name) noexcept;
+
+/// The typed error an armed site throws. what() carries site and key.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(Site site, std::uint64_t key);
+
+  Site site() const noexcept { return site_; }
+  std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  Site site_;
+  std::uint64_t key_;
+};
+
+struct FaultPlan {
+  Site site = Site::kHeuristicMap;
+  /// Injection probability per decision in [0, 1]; >= 1 fires always,
+  /// <= 0 never.
+  double rate = 0.0;
+  /// Seed of the decision function (independent of every study RNG stream).
+  std::uint64_t seed = 1;
+};
+
+/// Parses "<site>:<rate>[:<seed>]" (seed defaults to 1); nullopt on any
+/// syntax error, unknown site, or rate outside [0, 1].
+std::optional<FaultPlan> parse_spec(std::string_view spec);
+
+/// Arms `plan.site` (replacing any previous plan for that site).
+void arm(const FaultPlan& plan);
+/// Disarms one site / every site.
+void disarm(Site site);
+void disarm_all();
+/// The plan currently armed at `site`, if any.
+std::optional<FaultPlan> armed(Site site);
+/// True when at least one site is armed (the hot-path fast check).
+bool any_armed() noexcept;
+
+/// The deterministic decision value in [0, 1) for (plan.seed, site, key).
+double decision_value(const FaultPlan& plan, std::uint64_t key) noexcept;
+
+/// Whether an injection would fire at `site` for `key` given the current
+/// arming (false when disarmed). Pure given the armed state.
+bool should_inject(Site site, std::uint64_t key) noexcept;
+
+/// Throws FaultInjected when should_inject(site, key); also counts the
+/// injection and emits a "fault.injected" trace event. No-op when disarmed.
+void maybe_inject(Site site, std::uint64_t key);
+
+/// maybe_inject() keyed by the thread's current ScopedKey (sites that
+/// cannot see the study's trial index).
+void maybe_inject_here(Site site);
+
+/// The calling thread's fault key (0 outside any ScopedKey).
+std::uint64_t current_key() noexcept;
+
+/// RAII: installs `key` as the calling thread's fault key (the study
+/// installs the trial index around each trial), restoring the previous key
+/// on exit.
+class ScopedKey {
+ public:
+  explicit ScopedKey(std::uint64_t key) noexcept;
+  ~ScopedKey();
+  ScopedKey(const ScopedKey&) = delete;
+  ScopedKey& operator=(const ScopedKey&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// RAII for tests and the CLI: arms `plan` on construction and restores the
+/// site's previous arming (or disarmed state) on destruction.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultPlan& plan);
+  ~ScopedFault();
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  Site site_;
+  std::optional<FaultPlan> previous_;
+};
+
+}  // namespace hcsched::sim::fault

@@ -38,7 +38,21 @@ std::vector<SweepResult> run_sweep(const StudyParams& base,
                                    ThreadPool& pool) {
   std::vector<SweepResult> results;
   results.reserve(points.size());
+  for (auto& report :
+       run_sweep_report(base, points, pool)) {
+    results.push_back(
+        SweepResult{std::move(report.point), std::move(report.report.rows)});
+  }
+  return results;
+}
+
+std::vector<SweepReportResult> run_sweep_report(
+    const StudyParams& base, const std::vector<SweepPoint>& points,
+    ThreadPool& pool, const StudyHooks& hooks) {
+  std::vector<SweepReportResult> results;
+  results.reserve(points.size());
   for (const SweepPoint& point : points) {
+    if (hooks.cancel != nullptr && hooks.cancel->cancelled()) break;
     StudyParams params = base;
     params.consistency = point.consistency;
     params.cvb.v_task = point.v_task;
@@ -49,9 +63,11 @@ std::vector<SweepResult> run_sweep(const StudyParams& base,
          {"v_task", obs::JsonValue(point.v_task)},
          {"v_machine", obs::JsonValue(point.v_machine)},
          {"trials", obs::JsonValue(params.trials)}});
-    SweepResult r;
+    StudyHooks point_hooks = hooks;
+    point_hooks.point_label = point.label;
+    SweepReportResult r;
     r.point = point;
-    r.rows = run_iterative_study(params, pool);
+    r.report = run_iterative_study_report(params, pool, point_hooks);
     results.push_back(std::move(r));
   }
   return results;

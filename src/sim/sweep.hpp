@@ -29,4 +29,19 @@ std::vector<SweepResult> run_sweep(const StudyParams& base,
                                    const std::vector<SweepPoint>& points,
                                    ThreadPool& pool);
 
+/// One sweep point's full study report.
+struct SweepReportResult {
+  SweepPoint point{};
+  StudyReport report{};
+};
+
+/// run_sweep with the robustness surface: `hooks.cancel` stops between
+/// trials and points, `hooks.checkpoint`/`hooks.resume` persist and replay
+/// completed trials keyed by the point label (hooks.point_label is
+/// overwritten per point). Points already fully resumed cost only the map
+/// lookups.
+std::vector<SweepReportResult> run_sweep_report(
+    const StudyParams& base, const std::vector<SweepPoint>& points,
+    ThreadPool& pool, const StudyHooks& hooks = {});
+
 }  // namespace hcsched::sim

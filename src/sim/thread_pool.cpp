@@ -1,16 +1,27 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 #include "core/check.hpp"
 #include "obs/counters.hpp"
+#include "sim/fault/fault.hpp"
 
 #if HCSCHED_TRACE
 #include <chrono>
 #endif
 
 namespace hcsched::sim {
+
+namespace {
+
+/// Process-wide submit sequence: the deterministic key of the
+/// pool-job-start fault site. Monotone across every pool in the process so
+/// a spec like pool-job-start:1:0 ("fail job #N") stays meaningful in tests.
+std::atomic<std::uint64_t> g_submit_sequence{0};
+
+}  // namespace
 
 #if HCSCHED_TRACE
 namespace {
@@ -44,6 +55,19 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> job) {
+  // Pool-job-start fault site: when armed, job #seq dies before its body
+  // runs (a lost worker). Injected inside the task so the error reaches the
+  // caller through the future exactly like a real job failure; the sequence
+  // only advances while the site is armed, so the disarmed path costs one
+  // relaxed load.
+  if (fault::any_armed()) {
+    const std::uint64_t seq =
+        g_submit_sequence.fetch_add(1, std::memory_order_relaxed);
+    job = [job = std::move(job), seq] {
+      fault::maybe_inject(fault::Site::kPoolJobStart, seq);
+      job();
+    };
+  }
 #if HCSCHED_TRACE
   // Wrap the job to measure queue wait (submit -> start) and run latency.
   obs::counters::add(obs::Counter::kPoolTasksSubmitted);
@@ -71,7 +95,8 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
 }
 
 void ThreadPool::parallel_for_chunks(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
+    const core::CancelToken* cancel) {
   if (n == 0) return;
   HCSCHED_PRECONDITION(body != nullptr, "chunk body must be callable");
   const std::size_t chunks = std::min(n, size());
@@ -83,7 +108,14 @@ void ThreadPool::parallel_for_chunks(
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t len = base + (c < extra ? 1 : 0);
     const std::size_t end = begin + len;
-    futures.push_back(submit([&body, begin, end] { body(begin, end); }));
+    futures.push_back(submit([&body, cancel, begin, end] {
+      // A chunk that has not started when the token fires is skipped; a
+      // running chunk sees the token via the thread-local install and winds
+      // down cooperatively.
+      if (cancel != nullptr && cancel->cancelled()) return;
+      const core::ScopedCancel cancel_scope(cancel);
+      body(begin, end);
+    }));
     begin = end;
   }
   // The chunks partition [0, n): disjoint by construction, and together

@@ -7,6 +7,17 @@
 // heuristics on same-sized instances). Exceptions thrown by jobs are
 // captured into the future returned by submit(); parallel_for_chunks
 // rethrows the first one.
+//
+// Robustness hooks (docs/ROBUSTNESS.md):
+//   * submit() hosts the pool-job-start fault site: an armed
+//     fault::Site::kPoolJobStart plan (keyed by a process-wide submit
+//     sequence number) makes the job fail before its body runs, modelling a
+//     lost worker; the error flows through the future like any job error.
+//   * parallel_for_chunks accepts an optional CancelToken. A cancelled
+//     token makes not-yet-started chunk bodies no-ops, and is installed as
+//     the worker thread's current token (core::ScopedCancel) for the body's
+//     duration, so code deep inside a chunk — the anytime heuristics — can
+//     poll core::cancellation_requested() without any explicit plumbing.
 #pragma once
 
 #include <condition_variable>
@@ -17,6 +28,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/cancel.hpp"
 
 namespace hcsched::sim {
 
@@ -38,9 +51,15 @@ class ThreadPool {
   /// blocking until every chunk has finished (even after a failure — queued
   /// chunks reference `body`, so no job may outlive this call). The first
   /// chunk exception is rethrown once all chunks are done.
+  ///
+  /// `cancel` (borrowed; may be null) is installed as each chunk's current
+  /// token; a chunk whose body has not started when the token fires is
+  /// skipped outright. Cancellation is cooperative and never raises — the
+  /// caller inspects the token afterwards.
   void parallel_for_chunks(
       std::size_t n,
-      const std::function<void(std::size_t, std::size_t)>& body);
+      const std::function<void(std::size_t, std::size_t)>& body,
+      const core::CancelToken* cancel = nullptr);
 
  private:
   void worker_loop();

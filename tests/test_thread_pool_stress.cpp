@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "obs/counters.hpp"
 #include "sim/thread_pool.hpp"
 
@@ -106,6 +107,49 @@ TEST(ThreadPoolStress, ExceptionsSurfaceWithoutCorruptingPool) {
                      std::memory_order_relaxed);
       });
   EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPoolStress, CancelMidParallelForChunksUnderContention) {
+  // Many rounds of parallel_for_chunks racing against a canceller thread:
+  // every round must return (no deadlock), every started body must finish
+  // before parallel_for_chunks does (no dangling references to `token` or
+  // `processed`, which live on this stack frame), and chunks not yet
+  // started when the flag fires are skipped entirely.
+  constexpr std::size_t kRounds = 16;
+  constexpr std::size_t kRange = 1 << 12;
+
+  sim::ThreadPool pool(4);
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    core::CancelToken token;
+    std::atomic<std::size_t> processed{0};
+    std::thread canceller([&token, round] {
+      // Vary the cancel point from "immediately" to "well into the batch".
+      std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+      token.request_cancel();
+    });
+    pool.parallel_for_chunks(
+        kRange,
+        [&processed](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            if (core::cancellation_requested()) return;
+            processed.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(1));
+          }
+        },
+        &token);
+    canceller.join();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_LE(processed.load(), kRange);
+  }
+  // The pool survives repeated cancellations: an uncancelled batch still
+  // covers the whole range.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for_chunks(256,
+                           [&covered](std::size_t begin, std::size_t end) {
+                             covered.fetch_add(end - begin,
+                                               std::memory_order_relaxed);
+                           });
+  EXPECT_EQ(covered.load(), 256u);
 }
 
 #if HCSCHED_TRACE

@@ -11,7 +11,11 @@
 //   hcsched_cli report   --etc FILE --heuristic NAME [--ties det|random]
 //                        [--seed S] [--no-seeding] [--json]
 //   hcsched_cli study    [--trials N] [--tasks N] [--machines M]
-//                        [--ties det|random] [--seed S]
+//                        [--ties det|random] [--seed S] [--budget-ms N]
+//                        [--checkpoint FILE] [--resume FILE]
+//   hcsched_cli sweep    [--trials N] [--tasks N] [--machines M]
+//                        [--ties det|random] [--seed S] [--budget-ms N]
+//                        [--checkpoint FILE] [--resume FILE]
 //   hcsched_cli witness  --heuristic NAME [--tasks N] [--machines M]
 //                        [--ties det|random] [--max-trials N] [--seed S]
 //   hcsched_cli optimal  --etc FILE [--node-limit N]
@@ -22,19 +26,30 @@
 //   --trace FILE.jsonl   stream structured events (JSON Lines) to FILE
 //   --no-fastpath        force the reference two-phase greedy loop (the
 //                        HCSCHED_FASTPATH env var does the same for kAuto)
+//   --fault SPEC[,SPEC]  arm fault injection, SPEC = <site>:<rate>[:<seed>]
+//                        (the HCSCHED_FAULT env var does the same); see
+//                        docs/ROBUSTNESS.md for the site registry
 //   --version / -V       print the version and exit
 //
-// Exit status: 0 on success, 1 on bad usage or (witness) not found.
-// Usage/help goes to stdout for `help`, stderr on error paths.
+// Exit status: 0 on success, 1 on bad usage — including unknown flags and
+// malformed numeric values — or (witness) not found. Usage/help goes to
+// stdout for `help`, stderr on error paths. Informational robustness
+// notices (resume/quarantine/cancel summaries) go to stderr so stdout
+// stays diffable.
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "core/cancel.hpp"
 #include "core/iterative.hpp"
 #include "core/optimal.hpp"
 #include "core/witness.hpp"
@@ -48,8 +63,11 @@
 #include "obs/trace.hpp"
 #include "report/gantt.hpp"
 #include "report/table.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
+#include "sim/fault/fault.hpp"
 #include "sim/online.hpp"
+#include "sim/sweep.hpp"
 
 #ifndef HCSCHED_CLI_VERSION
 #define HCSCHED_CLI_VERSION "0.0.0-dev"
@@ -59,7 +77,18 @@ namespace {
 
 using namespace hcsched;
 
-/// Minimal --flag value parser; flags may appear in any order.
+/// Flags every subcommand accepts.
+const std::set<std::string>& global_flags() {
+  static const std::set<std::string> flags = {"trace", "no-fastpath",
+                                              "fault"};
+  return flags;
+}
+
+/// Minimal --flag value parser; flags may appear in any order. Strict: the
+/// caller declares the subcommand's flags via allow(), and finish() rejects
+/// anything undeclared, so a typo exits non-zero instead of being silently
+/// ignored. Numeric accessors reject trailing garbage ("5x" is an error,
+/// not 5).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -83,6 +112,20 @@ class Args {
     }
   }
 
+  /// Declares the flags the dispatched subcommand understands.
+  void allow(std::initializer_list<const char*> keys) {
+    for (const char* key : keys) allowed_.insert(key);
+  }
+
+  /// Rejects any parsed flag that is neither global nor allowed.
+  void finish() const {
+    for (const auto& [key, value] : values_) {
+      if (allowed_.count(key) == 0 && global_flags().count(key) == 0) {
+        throw std::invalid_argument("unknown flag '--" + key + "'");
+      }
+    }
+  }
+
   const std::string& error() const noexcept { return error_; }
 
   std::optional<std::string> get(const std::string& key) const {
@@ -95,15 +138,35 @@ class Args {
   }
   long long get_ll(const std::string& key, long long fallback) const {
     const auto v = get(key);
-    return v ? std::stoll(*v) : fallback;
+    if (!v) return fallback;
+    long long out = 0;
+    const char* begin = v->data();
+    const char* end = begin + v->size();
+    const auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr != end) {
+      throw std::invalid_argument("malformed value for --" + key + ": '" +
+                                  *v + "'");
+    }
+    return out;
   }
   double get_d(const std::string& key, double fallback) const {
     const auto v = get(key);
-    return v ? std::stod(*v) : fallback;
+    if (!v) return fallback;
+    if (v->empty()) {
+      throw std::invalid_argument("malformed value for --" + key + ": ''");
+    }
+    char* parse_end = nullptr;
+    const double out = std::strtod(v->c_str(), &parse_end);
+    if (parse_end != v->c_str() + v->size()) {
+      throw std::invalid_argument("malformed value for --" + key + ": '" +
+                                  *v + "'");
+    }
+    return out;
   }
 
  private:
   std::map<std::string, std::string> values_{};
+  std::set<std::string> allowed_{};
   std::string error_{};
 };
 
@@ -111,10 +174,11 @@ void print_usage(std::FILE* out) {
   std::fprintf(
       out,
       "usage: hcsched_cli "
-      "<list|generate|map|iterate|report|study|witness|optimal|online> "
+      "<list|generate|map|iterate|report|study|sweep|witness|optimal|online> "
       "[--flags]\n"
       "global flags: --trace FILE.jsonl (stream structured events), "
-      "--no-fastpath (reference two-phase greedy loop), --version\n"
+      "--no-fastpath (reference two-phase greedy loop), "
+      "--fault <site>:<rate>[:<seed>] (arm fault injection), --version\n"
       "see the header of tools/hcsched_cli.cpp for the full flag list\n");
 }
 
@@ -267,7 +331,44 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
-int cmd_study(const Args& args) {
+/// Shared study/sweep robustness setup: a deadline token for --budget-ms
+/// and checkpoint reader/writer for --resume/--checkpoint. Owns the hook
+/// targets so they outlive the run.
+struct RobustnessSetup {
+  std::optional<core::CancelToken> token{};
+  // unique_ptr, not optional: CheckpointWriter owns a mutex and cannot move.
+  std::unique_ptr<sim::CheckpointWriter> writer{};
+  std::optional<sim::CheckpointData> resume{};
+  sim::StudyHooks hooks{};
+};
+
+RobustnessSetup make_robustness(const Args& args) {
+  RobustnessSetup setup;
+  const long long budget_ms = args.get_ll("budget-ms", -1);
+  if (budget_ms >= 0) {
+    setup.token.emplace();
+    setup.token->cancel_after(std::chrono::milliseconds(budget_ms));
+    setup.hooks.cancel = &*setup.token;
+  }
+  if (const auto resume_path = args.get("resume")) {
+    setup.resume.emplace(sim::load_checkpoint(*resume_path));
+    setup.hooks.resume = &*setup.resume;
+    std::fprintf(stderr, "resume: %zu trial(s) loaded from %s",
+                 setup.resume->trials.size(), resume_path->c_str());
+    if (setup.resume->corrupt_lines > 0) {
+      std::fprintf(stderr, " (%zu corrupt line(s) skipped)",
+                   setup.resume->corrupt_lines);
+    }
+    std::fprintf(stderr, "\n");
+  }
+  if (const auto checkpoint_path = args.get("checkpoint")) {
+    setup.writer = std::make_unique<sim::CheckpointWriter>(*checkpoint_path);
+    setup.hooks.checkpoint = setup.writer.get();
+  }
+  return setup;
+}
+
+sim::StudyParams study_params_from(const Args& args) {
   sim::StudyParams params;
   params.heuristics = {"MET",       "MCT", "Min-Min", "Genitor", "SWA",
                        "Sufferage", "KPB"};
@@ -279,8 +380,10 @@ int cmd_study(const Args& args) {
   params.tie_policy = args.get_or("ties", "det") == "random"
                           ? rng::TiePolicy::kRandom
                           : rng::TiePolicy::kDeterministic;
-  sim::ThreadPool pool;
-  const auto rows = sim::run_iterative_study(params, pool);
+  return params;
+}
+
+void print_study_rows(const std::vector<sim::StudyRow>& rows) {
   report::TextTable table({"heuristic", "improved", "unchanged", "worsened",
                            "makespan increases"});
   for (const auto& row : rows) {
@@ -291,6 +394,54 @@ int cmd_study(const Args& args) {
                        std::to_string(row.trials)});
   }
   std::printf("%s", table.to_string().c_str());
+}
+
+/// Stderr summary of one study report's robustness events.
+void print_report_notices(const sim::StudyReport& report,
+                          const std::string& label) {
+  const char* prefix = label.empty() ? "study" : label.c_str();
+  if (report.trials_replayed > 0) {
+    std::fprintf(stderr, "%s: replayed %zu of %zu trial(s) from checkpoint\n",
+                 prefix, report.trials_replayed, report.trials_requested);
+  }
+  for (const auto& q : report.quarantined) {
+    std::fprintf(stderr,
+                 "%s: quarantined trial %zu heuristic '%s' (site %s): %s\n",
+                 prefix, q.trial, q.heuristic.c_str(), q.site.c_str(),
+                 q.error.c_str());
+  }
+  if (report.cancelled) {
+    std::fprintf(stderr, "%s: cancelled after %zu of %zu trial(s)\n", prefix,
+                 report.trials_completed, report.trials_requested);
+  }
+}
+
+int cmd_study(const Args& args) {
+  const sim::StudyParams params = study_params_from(args);
+  RobustnessSetup setup = make_robustness(args);
+  sim::ThreadPool pool;
+  const sim::StudyReport report =
+      sim::run_iterative_study_report(params, pool, setup.hooks);
+  print_study_rows(report.rows);
+  print_report_notices(report, "study");
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const sim::StudyParams params = study_params_from(args);
+  RobustnessSetup setup = make_robustness(args);
+  sim::ThreadPool pool;
+  const auto results = sim::run_sweep_report(params, sim::standard_sweep(),
+                                             pool, setup.hooks);
+  for (const auto& result : results) {
+    std::printf("== %s ==\n", result.point.label.c_str());
+    print_study_rows(result.report.rows);
+    print_report_notices(result.report, result.point.label);
+  }
+  if (results.size() < sim::standard_sweep().size()) {
+    std::fprintf(stderr, "sweep: cancelled after %zu of %zu point(s)\n",
+                 results.size(), sim::standard_sweep().size());
+  }
   return 0;
 }
 
@@ -368,6 +519,48 @@ int cmd_online(const Args& args) {
   return 0;
 }
 
+/// Declares the flags `command` understands on `args`; false for an unknown
+/// subcommand.
+bool declare_flags(const std::string& command, Args& args) {
+  if (command == "list") return true;
+  if (command == "generate") {
+    args.allow({"tasks", "machines", "method", "consistency", "v-task",
+                "v-machine", "seed", "out"});
+    return true;
+  }
+  if (command == "map") {
+    args.allow({"etc", "heuristic", "ties", "seed"});
+    return true;
+  }
+  if (command == "iterate") {
+    args.allow({"etc", "heuristic", "ties", "seed", "no-seeding"});
+    return true;
+  }
+  if (command == "report") {
+    args.allow({"etc", "heuristic", "ties", "seed", "no-seeding", "json"});
+    return true;
+  }
+  if (command == "study" || command == "sweep") {
+    args.allow({"trials", "tasks", "machines", "ties", "seed", "budget-ms",
+                "checkpoint", "resume"});
+    return true;
+  }
+  if (command == "witness") {
+    args.allow({"heuristic", "tasks", "machines", "ties", "max-trials",
+                "seed"});
+    return true;
+  }
+  if (command == "optimal") {
+    args.allow({"etc", "node-limit"});
+    return true;
+  }
+  if (command == "online") {
+    args.allow({"etc", "policy", "count", "mean-gap", "seed"});
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -383,9 +576,13 @@ int main(int argc, char** argv) {
     print_usage(stdout);
     return 0;
   }
-  const Args args(argc, argv, 2);
+  Args args(argc, argv, 2);
   if (!args.error().empty()) {
     std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return usage();
+  }
+  if (!declare_flags(command, args)) {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
     return usage();
   }
 
@@ -393,8 +590,25 @@ int main(int argc, char** argv) {
   // subcommand streams its events; the scoped sink flushes on exit.
   std::optional<obs::ScopedSink> trace_scope;
   try {
+    args.finish();  // reject undeclared flags with a non-zero exit
     if (args.get("no-fastpath")) {
       heuristics::fastpath::set_mode(heuristics::fastpath::Mode::kForceOff);
+    }
+    if (const auto fault_specs = args.get("fault")) {
+      std::string_view specs(*fault_specs);
+      while (!specs.empty()) {
+        const std::size_t comma = specs.find(',');
+        const std::string_view one = specs.substr(0, comma);
+        const auto plan = sim::fault::parse_spec(one);
+        if (!plan) {
+          throw std::invalid_argument("malformed --fault spec '" +
+                                      std::string(one) +
+                                      "' (want <site>:<rate>[:<seed>])");
+        }
+        sim::fault::arm(*plan);
+        if (comma == std::string_view::npos) break;
+        specs.remove_prefix(comma + 1);
+      }
     }
     if (const auto trace_path = args.get("trace")) {
       if (!obs::kTraceCompiledIn) {
@@ -410,6 +624,7 @@ int main(int argc, char** argv) {
     if (command == "iterate") return cmd_iterate(args);
     if (command == "report") return cmd_report(args);
     if (command == "study") return cmd_study(args);
+    if (command == "sweep") return cmd_sweep(args);
     if (command == "witness") return cmd_witness(args);
     if (command == "optimal") return cmd_optimal(args);
     if (command == "online") return cmd_online(args);
@@ -417,6 +632,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
-  return usage();
+  std::fprintf(stderr, "error: unreachable subcommand dispatch\n");
+  return 1;
 }
