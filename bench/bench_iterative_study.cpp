@@ -3,17 +3,27 @@
 // heuristic and heterogeneity/consistency cell: how many non-makespan
 // machines improved / stayed / worsened, the mean relative finishing-time
 // change, and how often the effective makespan increased.
+//
+// Besides the printed tables, the run writes BENCH_iterative.json (path
+// overridable with --json-out <path>) in the same shape as
+// BENCH_fastpath.json — the machine-readable record the checked-in
+// baseline at the repo root is refreshed from.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "core/cancel.hpp"
+#include "obs/json.hpp"
 #include "report/table.hpp"
 #include "sim/experiment.hpp"
 #include "sim/sweep.hpp"
 
 namespace {
 
+using hcsched::obs::JsonValue;
 using hcsched::report::TextTable;
 using hcsched::sim::StudyParams;
 using hcsched::sim::ThreadPool;
@@ -30,7 +40,7 @@ StudyParams base_params() {
   return params;
 }
 
-void print_study() {
+void print_study(const std::string& json_path) {
   ThreadPool pool;
   const StudyParams base = base_params();
 
@@ -44,10 +54,20 @@ void print_study() {
     }
   }
 
-  const auto results = hcsched::sim::run_sweep(base, points, pool);
-  for (const auto& cell : results) {
+  // One point per run_sweep call so each cell gets its own wall time; the
+  // study itself is deterministic, only wall_ms varies between runs.
+  JsonValue::Array cells;
+  for (const auto& point : points) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto results = hcsched::sim::run_sweep(base, {point}, pool);
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    const auto& cell = results.front();
+
     TextTable table({"heuristic", "improved", "unchanged", "worsened",
                      "mean dCT/CT", "makespan increases", "trials"});
+    JsonValue::Array rows;
     for (const auto& row : cell.rows) {
       table.add_row(
           {row.heuristic, std::to_string(row.machines_improved),
@@ -56,16 +76,46 @@ void print_study() {
            TextTable::num(row.finish_delta.mean() * 100.0, 2) + "%",
            std::to_string(row.makespan_increases),
            std::to_string(row.trials)});
+      JsonValue::Object json_row;
+      json_row.emplace_back("heuristic", JsonValue(row.heuristic));
+      json_row.emplace_back("improved", JsonValue(row.machines_improved));
+      json_row.emplace_back("unchanged", JsonValue(row.machines_unchanged));
+      json_row.emplace_back("worsened", JsonValue(row.machines_worsened));
+      json_row.emplace_back("mean_finish_delta",
+                            JsonValue(row.finish_delta.mean()));
+      json_row.emplace_back("makespan_increases",
+                            JsonValue(row.makespan_increases));
+      json_row.emplace_back("trials", JsonValue(row.trials));
+      rows.emplace_back(std::move(json_row));
     }
     std::printf("=== EXT-1 iterative study — %s (24 tasks x 6 machines, "
                 "deterministic ties) ===\n%s\n",
                 cell.point.label.c_str(), table.to_string().c_str());
+
+    JsonValue::Object json_cell;
+    json_cell.emplace_back("point", JsonValue(cell.point.label));
+    json_cell.emplace_back("tasks", JsonValue(base.cvb.num_tasks));
+    json_cell.emplace_back("machines", JsonValue(base.cvb.num_machines));
+    json_cell.emplace_back("trials", JsonValue(base.trials));
+    json_cell.emplace_back("wall_ms", JsonValue(wall_ms));
+    json_cell.emplace_back("rows", JsonValue(std::move(rows)));
+    cells.emplace_back(std::move(json_cell));
   }
   std::printf(
       "Reading: MET/MCT/Min-Min rows are all-unchanged (the paper's "
       "theorems); Genitor never increases makespan (seeded elitism); "
       "SWA/KPB/Sufferage both improve and worsen machines and can increase "
       "the makespan — the paper's §5 conclusion.\n\n");
+
+  JsonValue::Object doc;
+  doc.emplace_back("bench", JsonValue("iterative_study"));
+  doc.emplace_back("tie_policy", JsonValue("deterministic"));
+  doc.emplace_back("timing", JsonValue("single pass per cell, steady_clock"));
+  doc.emplace_back("seed", JsonValue(base.seed));
+  doc.emplace_back("cells", JsonValue(std::move(cells)));
+  std::ofstream out(json_path);
+  out << JsonValue(std::move(doc)).dump(2) << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
 }
 
 void BM_StudyCell(benchmark::State& state) {
@@ -110,8 +160,19 @@ BENCHMARK(BM_StudyCellIdleRobustness)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
-  print_study();
-  benchmark::Initialize(&argc, argv);
+  std::string json_path = "BENCH_iterative.json";
+  // Strip --json-out before google-benchmark sees (and rejects) it.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  print_study(json_path);
+  benchmark::Initialize(&out_argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -80,6 +80,11 @@ class CancelToken {
   static constexpr std::int64_t kNoDeadline =
       std::numeric_limits<std::int64_t>::max();
 
+  // Memory-order audit (PR 2/PR 5, verified under the TSan preset): both
+  // atomics are sticky single-direction signals polled in a loop — no data
+  // is published through them, so relaxed ordering is correct; the latch
+  // store in cancelled() is an idempotent cache, racing writers all write
+  // `true`.
   struct State {
     std::atomic<bool> flag{false};
     std::atomic<std::int64_t> deadline_ns{kNoDeadline};

@@ -1,7 +1,8 @@
 #include "core/witness.hpp"
 
 #include <algorithm>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 namespace hcsched::core {
 
@@ -74,15 +75,23 @@ std::optional<Witness> find_makespan_increase_witness_parallel(
     std::shared_ptr<const etc::EtcMatrix> matrix{};
     IterativeResult result{};
   };
-  std::vector<std::optional<Hit>> hits(blocks);
-  std::mutex mutex;
-  std::size_t best_block = blocks;  // blocks at/after this cannot win
+  // Shared search state as one annotated bundle: workers may only touch the
+  // hit table or the cutoff while holding the capability, which the
+  // thread-safety analysis proves for every path through the lambda below.
+  struct SearchState {
+    explicit SearchState(std::size_t blocks)
+        : hits(blocks), best_block(blocks) {}
+    Mutex mutex;
+    std::vector<std::optional<Hit>> hits HCSCHED_GUARDED_BY(mutex);
+    std::size_t best_block HCSCHED_GUARDED_BY(mutex);  // >= this cannot win
+  };
+  SearchState state(blocks);
 
   pool.parallel_for_chunks(blocks, [&](std::size_t begin, std::size_t end) {
     for (std::size_t b = begin; b < end; ++b) {
       {
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (b >= best_block) continue;  // a lower block already hit
+        const MutexLock lock(state.mutex);
+        if (b >= state.best_block) continue;  // a lower block already hit
       }
       rng::Rng rng = rng::Rng(seed).split(b);
       const std::size_t count =
@@ -92,23 +101,27 @@ std::optional<Witness> find_makespan_increase_witness_parallel(
             std::make_shared<const etc::EtcMatrix>(sample_matrix(spec, rng));
         auto result = try_matrix(heuristic, *matrix, spec, rng);
         if (result.has_value()) {
-          const std::lock_guard<std::mutex> lock(mutex);
-          hits[b] = Hit{b, i, std::move(matrix), *std::move(result)};
-          best_block = std::min(best_block, b);
+          const MutexLock lock(state.mutex);
+          state.hits[b] = Hit{b, i, std::move(matrix), *std::move(result)};
+          state.best_block = std::min(state.best_block, b);
           break;
         }
       }
     }
   });
 
+  // Workers have drained (parallel_for_chunks is a barrier), so this read
+  // is single-threaded; the lock keeps the analysis airtight and is
+  // uncontended.
+  const MutexLock lock(state.mutex);
   for (std::size_t b = 0; b < blocks; ++b) {
-    if (!hits[b].has_value()) continue;
+    if (!state.hits[b].has_value()) continue;
     Witness w;
-    w.matrix = hits[b]->matrix;
-    w.result = std::move(hits[b]->result);
+    w.matrix = state.hits[b]->matrix;
+    w.result = std::move(state.hits[b]->result);
     w.original_makespan = w.result.original().makespan;
     w.final_makespan = w.result.final_makespan();
-    w.trials_used = b * kBlock + hits[b]->trial_in_block + 1;
+    w.trials_used = b * kBlock + state.hits[b]->trial_in_block + 1;
     return w;
   }
   return std::nullopt;

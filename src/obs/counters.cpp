@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <map>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 namespace hcsched::obs {
 
@@ -51,10 +52,17 @@ ThreadBuffer& thread_buffer() noexcept {
 
 std::atomic<std::uint64_t> g_max_queue_depth{0};
 
-std::mutex g_timings_mutex;
-std::map<std::string, HeuristicTiming, std::less<>>& timings_map() {
-  static std::map<std::string, HeuristicTiming, std::less<>> map;
-  return map;
+/// Per-heuristic timing registry behind its own capability; function-local
+/// static so the registry outlives every worker thread that feeds it.
+struct TimingRegistry {
+  core::Mutex mutex;
+  std::map<std::string, HeuristicTiming, std::less<>> map
+      HCSCHED_GUARDED_BY(mutex){};
+};
+
+TimingRegistry& timings() {
+  static TimingRegistry registry;
+  return registry;
 }
 
 constexpr std::array<std::string_view, kNumCounters> kCounterNames = {
@@ -133,8 +141,9 @@ void reset() {
   pool_wait_histogram().reset();
   pool_run_histogram().reset();
   g_max_queue_depth.store(0, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(g_timings_mutex);
-  timings_map().clear();
+  TimingRegistry& registry = timings();
+  const core::MutexLock lock(registry.mutex);
+  registry.map.clear();
 }
 
 }  // namespace counters
@@ -230,11 +239,11 @@ std::size_t max_queue_depth() noexcept {
 }
 
 void record_heuristic_call(std::string_view name, std::uint64_t ns) {
-  const std::lock_guard<std::mutex> lock(g_timings_mutex);
-  auto& map = timings_map();
-  const auto it = map.find(name);
-  if (it == map.end()) {
-    map.emplace(std::string(name), HeuristicTiming{1, ns});
+  TimingRegistry& registry = timings();
+  const core::MutexLock lock(registry.mutex);
+  const auto it = registry.map.find(name);
+  if (it == registry.map.end()) {
+    registry.map.emplace(std::string(name), HeuristicTiming{1, ns});
   } else {
     ++it->second.calls;
     it->second.total_ns += ns;
@@ -242,9 +251,9 @@ void record_heuristic_call(std::string_view name, std::uint64_t ns) {
 }
 
 std::vector<std::pair<std::string, HeuristicTiming>> heuristic_timings() {
-  const std::lock_guard<std::mutex> lock(g_timings_mutex);
-  const auto& map = timings_map();
-  return {map.begin(), map.end()};
+  TimingRegistry& registry = timings();
+  const core::MutexLock lock(registry.mutex);
+  return {registry.map.begin(), registry.map.end()};
 }
 
 }  // namespace hcsched::obs

@@ -9,8 +9,17 @@ namespace {
 
 // The active sink is read on every emit from any thread; the atomic flag
 // keeps the inactive fast path lock-free while installs stay rare.
-std::mutex g_sink_mutex;
-std::shared_ptr<TraceSink> g_sink;                 // guarded by g_sink_mutex
+//
+// Memory-order audit (PR 2/PR 5, verified under the TSan preset): g_active
+// is a monotonically-published hint — emit() re-reads g_sink under the
+// mutex before touching the sink, so a stale hint costs at most one missed
+// (or one discarded) event around an install, never a dangling sink. The
+// release store pairs with the mutex acquire inside emit(), not with the
+// relaxed hint load. g_sequence is a pure ID allocator: no later read
+// depends on its ordering, only on uniqueness, which fetch_add guarantees
+// at any order.
+core::Mutex g_sink_mutex;
+std::shared_ptr<TraceSink> g_sink HCSCHED_GUARDED_BY(g_sink_mutex);
 std::atomic<bool> g_active{false};
 std::atomic<std::uint64_t> g_sequence{0};
 
@@ -29,7 +38,7 @@ RingBufferSink::RingBufferSink(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 void RingBufferSink::consume(const TraceEvent& event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   if (buffer_.size() == capacity_) {
     buffer_.pop_front();
     ++dropped_;
@@ -38,13 +47,13 @@ void RingBufferSink::consume(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> RingBufferSink::events() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return {buffer_.begin(), buffer_.end()};
 }
 
 std::vector<TraceEvent> RingBufferSink::events_named(
     std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   for (const TraceEvent& e : buffer_) {
     if (e.name == name) out.push_back(e);
@@ -53,17 +62,17 @@ std::vector<TraceEvent> RingBufferSink::events_named(
 }
 
 std::size_t RingBufferSink::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return buffer_.size();
 }
 
 std::uint64_t RingBufferSink::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   return dropped_;
 }
 
 void RingBufferSink::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   buffer_.clear();
   dropped_ = 0;
 }
@@ -79,23 +88,23 @@ JsonlSink::JsonlSink(const std::string& path)
 
 void JsonlSink::consume(const TraceEvent& event) {
   const std::string line = event.to_json().dump();
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   *out_ << line << '\n';
 }
 
 void JsonlSink::flush() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   out_->flush();
 }
 
 void Tracer::install(std::shared_ptr<TraceSink> sink) {
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  const core::MutexLock lock(g_sink_mutex);
   g_sink = std::move(sink);
   g_active.store(g_sink != nullptr, std::memory_order_release);
 }
 
 std::shared_ptr<TraceSink> Tracer::sink() {
-  const std::lock_guard<std::mutex> lock(g_sink_mutex);
+  const core::MutexLock lock(g_sink_mutex);
   return g_sink;
 }
 
@@ -108,7 +117,7 @@ void Tracer::emit(std::string_view name, JsonValue::Object fields) {
   // mid-consume.
   std::shared_ptr<TraceSink> sink;
   {
-    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    const core::MutexLock lock(g_sink_mutex);
     sink = g_sink;
   }
   if (!sink) return;

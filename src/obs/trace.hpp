@@ -24,12 +24,12 @@
 #include <deque>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "obs/json.hpp"
 
 #ifndef HCSCHED_TRACE
@@ -80,10 +80,10 @@ class RingBufferSink final : public TraceSink {
   void clear();
 
  private:
-  mutable std::mutex mutex_{};
-  std::deque<TraceEvent> buffer_{};
-  std::size_t capacity_;
-  std::uint64_t dropped_ = 0;
+  mutable core::Mutex mutex_;
+  std::deque<TraceEvent> buffer_ HCSCHED_GUARDED_BY(mutex_){};
+  std::size_t capacity_;  // immutable after construction; no guard needed
+  std::uint64_t dropped_ HCSCHED_GUARDED_BY(mutex_) = 0;
 };
 
 /// Writes one compact JSON line per event (JSON Lines).
@@ -98,9 +98,11 @@ class JsonlSink final : public TraceSink {
   void flush() override;
 
  private:
-  std::mutex mutex_{};
+  core::Mutex mutex_;
   std::ofstream owned_{};
-  std::ostream* out_;
+  /// Points at `owned_` or a borrowed stream; the pointer itself is set
+  /// once in the constructor, but every *write through it* takes the lock.
+  std::ostream* out_ HCSCHED_PT_GUARDED_BY(mutex_);
 };
 
 /// Process-global event router. install() swaps the active sink (nullptr

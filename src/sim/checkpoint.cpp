@@ -194,7 +194,7 @@ void CheckpointWriter::append_trial(const CheckpointKey& key,
                                     const TrialOutcome& outcome) {
   fault::maybe_inject(fault::Site::kCheckpointWrite, key.trial);
   const std::string line = encode_trial(key, outcome);
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const core::MutexLock lock(mutex_);
   out_ << line << '\n';
   out_.flush();
   if (!out_) {

@@ -30,11 +30,11 @@
 #include <fstream>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "core/thread_annotations.hpp"
 #include "sim/experiment.hpp"
 
 namespace hcsched::sim {
@@ -95,9 +95,9 @@ class CheckpointWriter {
   void append_trial(const CheckpointKey& key, const TrialOutcome& outcome);
 
  private:
-  std::string path_;
-  std::ofstream out_;
-  std::mutex mutex_;
+  std::string path_;  // immutable after construction; no guard needed
+  core::Mutex mutex_;
+  std::ofstream out_ HCSCHED_GUARDED_BY(mutex_);
 };
 
 }  // namespace hcsched::sim

@@ -208,7 +208,11 @@ StudyReport run_iterative_study_report(const StudyParams& params,
   }
 
   // One slot per trial; chunks write disjoint indices, so no merge lock and
-  // no completion-order dependence.
+  // no completion-order dependence. Quarantine capture rides inside each
+  // slot (run_one_trial appends to its own outcome), so the only shared
+  // mutable state here is the replay tally: a pure counter whose value is
+  // read after the parallel_for_chunks barrier — relaxed ordering suffices,
+  // the barrier's join publishes it.
   std::vector<TrialOutcome> outcomes(params.trials);
   std::atomic<std::size_t> replayed{0};
 

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <charconv>
 #include <cstdlib>
-#include <mutex>
 
+#include "core/thread_annotations.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "rng/splitmix64.hpp"
@@ -22,12 +22,14 @@ constexpr std::array<std::string_view, kNumSites> kSiteNames = {
 };
 
 struct Registry {
-  std::mutex mutex{};
-  std::array<std::optional<FaultPlan>, kNumSites> plans{};
+  core::Mutex mutex;
+  std::array<std::optional<FaultPlan>, kNumSites> plans
+      HCSCHED_GUARDED_BY(mutex){};
   /// Bitmask of armed sites; the hot-path check. Relaxed is enough: a
   /// caller racing an arm/disarm may miss the very first decisions, which
   /// is inherent to process-global arming and irrelevant to determinism
-  /// (tests arm before running).
+  /// (tests arm before running). Plan *contents* are only ever read under
+  /// the mutex, so the mask never orders any non-atomic access.
   std::atomic<std::uint32_t> armed_mask{0};
 };
 
@@ -113,7 +115,7 @@ std::optional<FaultPlan> parse_spec(std::string_view spec) {
 
 void arm(const FaultPlan& plan) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   r.plans[static_cast<std::size_t>(plan.site)] = plan;
   r.armed_mask.fetch_or(1u << static_cast<std::uint32_t>(plan.site),
                         std::memory_order_relaxed);
@@ -121,7 +123,7 @@ void arm(const FaultPlan& plan) {
 
 void disarm(Site site) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   r.plans[static_cast<std::size_t>(site)].reset();
   r.armed_mask.fetch_and(~(1u << static_cast<std::uint32_t>(site)),
                          std::memory_order_relaxed);
@@ -129,14 +131,14 @@ void disarm(Site site) {
 
 void disarm_all() {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   for (auto& plan : r.plans) plan.reset();
   r.armed_mask.store(0, std::memory_order_relaxed);
 }
 
 std::optional<FaultPlan> armed(Site site) {
   Registry& r = registry();
-  const std::lock_guard<std::mutex> lock(r.mutex);
+  const core::MutexLock lock(r.mutex);
   return r.plans[static_cast<std::size_t>(site)];
 }
 
@@ -163,7 +165,7 @@ bool should_inject(Site site, std::uint64_t key) noexcept {
   }
   std::optional<FaultPlan> plan;
   {
-    const std::lock_guard<std::mutex> lock(r.mutex);
+    const core::MutexLock lock(r.mutex);
     plan = r.plans[static_cast<std::size_t>(site)];
   }
   if (!plan) return false;  // raced a disarm

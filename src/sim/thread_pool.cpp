@@ -47,7 +47,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const core::MutexLock lock(queue_mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -84,15 +84,21 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
 #endif
   std::future<void> future = task.get_future();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
-#if HCSCHED_TRACE
-    obs::record_queue_depth(queue_.size());
-#endif
+    const core::MutexLock lock(queue_mutex_);
+    enqueue_locked(std::move(task));
   }
   cv_.notify_one();
   return future;
 }
+
+void ThreadPool::enqueue_locked(std::packaged_task<void()> task) {
+  queue_.push_back(std::move(task));
+#if HCSCHED_TRACE
+  obs::record_queue_depth(queue_.size());
+#endif
+}
+
+bool ThreadPool::drained_locked() const { return stopping_ && queue_.empty(); }
 
 void ThreadPool::parallel_for_chunks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body,
@@ -143,9 +149,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
+      const core::MutexLock lock(queue_mutex_);
+      // Manual predicate loop (not the wait(lock, pred) overload): the
+      // analysis cannot see through a predicate lambda, while an annotated
+      // CondVar::wait inside the loop proves the guarded reads directly.
+      while (!stopping_ && queue_.empty()) cv_.wait(queue_mutex_);
+      if (drained_locked()) return;  // stopping_ and queue exhausted
       task = std::move(queue_.front());
       queue_.pop_front();
     }

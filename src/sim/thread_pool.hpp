@@ -8,6 +8,12 @@
 // captured into the future returned by submit(); parallel_for_chunks
 // rethrows the first one.
 //
+// Lock discipline is compiler-checked: queue state lives behind the
+// annotated core::Mutex capability (core/thread_annotations.hpp) and every
+// access path is proven under -Wthread-safety by the `thread-safety`
+// preset; tests/compile_fail/ pins that an unlocked call to a
+// REQUIRES(queue_mutex_) member is rejected.
+//
 // Robustness hooks (docs/ROBUSTNESS.md):
 //   * submit() hosts the pool-job-start fault site: an armed
 //     fault::Site::kPoolJobStart plan (keyed by a process-wide submit
@@ -20,16 +26,15 @@
 //     poll core::cancellation_requested() without any explicit plumbing.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace hcsched::sim {
 
@@ -45,7 +50,8 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueues a job; the future reports completion or the job's exception.
-  std::future<void> submit(std::function<void()> job);
+  std::future<void> submit(std::function<void()> job)
+      HCSCHED_EXCLUDES(queue_mutex_);
 
   /// Runs body(begin, end) over disjoint chunks of [0, n) across the pool,
   /// blocking until every chunk has finished (even after a failure — queued
@@ -59,16 +65,31 @@ class ThreadPool {
   void parallel_for_chunks(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t)>& body,
-      const core::CancelToken* cancel = nullptr);
+      const core::CancelToken* cancel = nullptr)
+      HCSCHED_EXCLUDES(queue_mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() HCSCHED_EXCLUDES(queue_mutex_);
+
+  /// Appends a task to the queue (caller notifies the condvar after
+  /// releasing the lock, keeping the wakeup off the critical section).
+  void enqueue_locked(std::packaged_task<void()> task)
+      HCSCHED_REQUIRES(queue_mutex_);
+
+  /// Whether the pool is stopping with an empty queue — the worker exit
+  /// condition.
+  bool drained_locked() const HCSCHED_REQUIRES(queue_mutex_);
+
+  // Compile-fail harness (tests/compile_fail/): proves the analysis rejects
+  // an unlocked call to the REQUIRES members above.
+  friend struct ThreadPoolThreadSafetyProbe;
 
   std::vector<std::thread> workers_{};
-  std::deque<std::packaged_task<void()>> queue_{};
-  std::mutex mutex_{};
-  std::condition_variable cv_{};
-  bool stopping_ = false;
+  core::Mutex queue_mutex_;
+  std::deque<std::packaged_task<void()>> queue_
+      HCSCHED_GUARDED_BY(queue_mutex_){};
+  core::CondVar cv_{};
+  bool stopping_ HCSCHED_GUARDED_BY(queue_mutex_) = false;
 };
 
 }  // namespace hcsched::sim

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under HCSCHED_THREAD_SAFETY=ON (Clang): calls a
+// REQUIRES(queue_mutex_) member of the thread pool without holding the
+// lock. The `thread_safety_requires_rejected` ctest builds this target and
+// expects the build to fail — pinning that the capability analysis actually
+// rejects lock-discipline violations rather than silently parsing the
+// annotations. The sibling thread_pool_requires_ok.cpp is the positive
+// control proving the harness fails for the right reason.
+#include <future>
+#include <utility>
+
+#include "sim/thread_pool.hpp"
+
+namespace hcsched::sim {
+
+struct ThreadPoolThreadSafetyProbe {
+  static void enqueue_without_lock(ThreadPool& pool) {
+    // error: calling function 'enqueue_locked' requires holding mutex
+    // 'pool.queue_mutex_' exclusively [-Werror,-Wthread-safety-analysis]
+    pool.enqueue_locked(std::packaged_task<void()>([] {}));
+  }
+};
+
+}  // namespace hcsched::sim
+
+int main() {
+  hcsched::sim::ThreadPool pool(1);
+  hcsched::sim::ThreadPoolThreadSafetyProbe::enqueue_without_lock(pool);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Positive control for thread_pool_requires_fail.cpp: the same internal
+// call with the lock held MUST compile under HCSCHED_THREAD_SAFETY=ON. The
+// `thread_safety_requires_accepted` ctest builds this target; together the
+// pair proves the compile-fail test fails because of the missing lock, not
+// because of an unrelated build breakage.
+#include <future>
+#include <utility>
+
+#include "core/thread_annotations.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace hcsched::sim {
+
+struct ThreadPoolThreadSafetyProbe {
+  static void enqueue_with_lock(ThreadPool& pool) {
+    const core::MutexLock lock(pool.queue_mutex_);
+    pool.enqueue_locked(std::packaged_task<void()>([] {}));
+  }
+};
+
+}  // namespace hcsched::sim
+
+int main() {
+  hcsched::sim::ThreadPool pool(1);
+  hcsched::sim::ThreadPoolThreadSafetyProbe::enqueue_with_lock(pool);
+  // The enqueued no-op task is drained by the pool destructor's
+  // stop-and-join; no notify needed for a correctness probe that only has
+  // to compile and terminate.
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Fixture for no-nondeterminism-in-core: ambient entropy inside src/core/
+// (must be flagged), an audited line-level allowance, and lookalike
+// identifiers the word-boundary check must NOT flag.
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+unsigned bad() {
+  std::random_device entropy;
+  return entropy();
+}
+
+// lint:allow(nondeterminism) — audited: fixture stand-in for a sim-layer shim
+long audited() { return std::time(nullptr); }
+
+int completion_time(int machine);
+int my_rand(int x);
+int lookalikes() { return completion_time(0) + my_rand(1); }
+
+}  // namespace fixture

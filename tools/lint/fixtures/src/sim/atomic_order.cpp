@@ -1,0 +1,23 @@
+// Fixture for explicit-memory-order: one atomic call relying on the
+// seq_cst default (must be flagged), one audited call escaped with the
+// line-level allowance, and two explicit calls — single-line and wrapped
+// across a continuation line — that must pass.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+
+int bad() { return counter.fetch_add(1); }
+
+// lint:allow(memory-order) — audited: fixture stand-in for a seq_cst site
+int audited() { return counter.fetch_add(1); }
+
+int good() { return counter.load(std::memory_order_relaxed); }
+
+int wrapped() {
+  return counter.fetch_add(1,
+                           std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture pinning that include-hygiene descends into nested
+// subdirectories: a parent-relative include two levels below src/ must be
+// flagged exactly like one at the top level (the heuristic-registry rule,
+// by contrast, stops at the first nesting level — see subdir_support.hpp).
+#include "../thread_pool.hpp"
+
+namespace fixture::nested {
+
+inline int depth() { return 2; }
+
+}  // namespace fixture::nested

@@ -1,0 +1,29 @@
+// Fixture for lock-annotation-coverage: a mutex member with no GUARDED_BY
+// field (must be flagged), an annotated pair (must pass), and an audited
+// member escaped with the line-level allowance. Fixtures are scanned, not
+// compiled, so the core::Mutex spelling matches real in-namespace usage.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Bad {
+  std::mutex lock_;
+  std::uint64_t value = 0;
+};
+
+struct Good {
+  core::Mutex mutex_;
+  std::uint64_t value HCSCHED_GUARDED_BY(mutex_) = 0;
+};
+
+struct Audited {
+  // A real module would document the external locking contract here.
+  std::mutex scratch_;  // lint:allow(lock-annotation)
+};
+
+}  // namespace fixture

@@ -25,10 +25,34 @@
 //                       never runs).
 //   include-hygiene     no `#include "src/...)` and no `#include "../...`
 //                       anywhere — all project includes are relative to
-//                       src/ (the exported include root).
+//                       src/ (the exported include root). Applies at every
+//                       nesting depth (src/sim/fault/, fastpath/, ...).
+//   explicit-memory-order
+//                       every std::atomic operation in src/ names a
+//                       std::memory_order argument — the default seq_cst
+//                       either hides a missing ordering decision or buys
+//                       fences nobody reasoned about (docs/STATIC_ANALYSIS.md
+//                       records the per-site justifications).
+//   no-nondeterminism-in-core
+//                       the deterministic layers (src/core/, src/heuristics/,
+//                       src/etc/, src/ga/) must not reach for ambient
+//                       entropy or iteration-order-unstable containers:
+//                       rand()/srand()/std::time(), std::random_device,
+//                       std::chrono::system_clock, std::unordered_map/set
+//                       are banned there. Seeded randomness goes through
+//                       core/rng.hpp; wall-clock stays in the sim/CLI layer.
+//   lock-annotation-coverage
+//                       every mutex member in src/ (std::mutex or
+//                       core::Mutex) has at least one field annotated
+//                       GUARDED_BY/PT_GUARDED_BY with that mutex's name —
+//                       an unused capability is either dead weight or an
+//                       unannotated invariant.
 //
 // A file may opt out of one rule with a comment anywhere in the file:
 //     // hcsched-lint: allow(<rule-id>)
+// The three src/-wide rules above additionally accept a line-level escape on
+// the flagged line or the line directly above it:
+//     // lint:allow(memory-order | nondeterminism | lock-annotation)
 //
 // Usage: hcsched_lint --root <repo-or-fixture-root> [--verbose]
 // Exit code: 0 when clean, 1 on violations, 2 on usage/IO errors.
@@ -115,6 +139,17 @@ bool file_allows(const SourceFile& file, std::string_view rule) {
   return false;
 }
 
+/// Line-level escape: `// lint:allow(<token>)` on the flagged line or the
+/// line directly above it. Narrower than the file-level hcsched-lint escape
+/// so one audited call site cannot silence the rule for the whole file.
+bool line_allows(const SourceFile& file, std::size_t index,
+                 std::string_view token) {
+  const std::string needle = "lint:allow(" + std::string(token) + ")";
+  if (file.lines[index].find(needle) != std::string::npos) return true;
+  return index > 0 &&
+         file.lines[index - 1].find(needle) != std::string::npos;
+}
+
 std::string_view trim_left(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
     s.remove_prefix(1);
@@ -124,6 +159,29 @@ std::string_view trim_left(std::string_view s) {
 
 bool starts_with(std::string_view s, std::string_view prefix) {
   return s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_identifier_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Where `relative` sits with respect to directory `dir`. Shared by the
+/// heuristic-registry and include-hygiene rules so both make the same call
+/// about what counts as "inside a nested subdirectory".
+struct SubdirSplit {
+  bool inside = false;        // relative starts with dir
+  std::string_view below;     // remainder after dir (may contain '/')
+  bool nested = false;        // remainder has another directory level
+};
+
+SubdirSplit split_below(std::string_view relative, std::string_view dir) {
+  SubdirSplit split;
+  if (!starts_with(relative, dir)) return split;
+  split.inside = true;
+  split.below = relative.substr(dir.size());
+  split.nested = split.below.find('/') != std::string_view::npos;
+  return split;
 }
 
 // ------------------------------------------------------------------- rules
@@ -141,16 +199,14 @@ void check_heuristic_registry(const std::vector<SourceFile>& files,
     registry_text += '\n';
   }
   for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "src/heuristics/") ||
-        f.path.extension() != ".hpp") {
-      continue;
-    }
+    const SubdirSplit split = split_below(f.relative, "src/heuristics/");
+    if (!split.inside || f.path.extension() != ".hpp") continue;
     // Only headers directly in src/heuristics/ declare registrable
-    // heuristics; subdirectories (e.g. fastpath/) are support code covered
-    // by their own rules.
-    const std::string_view below_heuristics =
-        std::string_view(f.relative).substr(sizeof("src/heuristics/") - 1);
-    if (below_heuristics.find('/') != std::string_view::npos) continue;
+    // heuristics; nested subdirectories (e.g. fastpath/) are support code
+    // covered by the fastpath-differential rule — include-hygiene, by
+    // contrast, deliberately descends into them (same split_below helper,
+    // opposite branch).
+    if (split.nested) continue;
     const std::string stem = f.path.stem().string();
     if (stem == "heuristic" || stem == "registry") continue;  // framework
     if (file_allows(f, "heuristic-registry")) continue;
@@ -273,6 +329,11 @@ void check_test_registration(const fs::path& root,
 void check_include_hygiene(const std::vector<SourceFile>& files,
                            std::vector<Violation>& out) {
   for (const SourceFile& f : files) {
+    // Unlike heuristic-registry (which uses split_below to stop at the
+    // first nesting level), this rule applies at EVERY depth: a
+    // parent-relative include inside src/sim/fault/ or
+    // src/heuristics/fastpath/ is just as much a violation as one at the
+    // top level, so no subdirectory filter appears here on purpose.
     if (file_allows(f, "include-hygiene")) continue;
     for (std::size_t i = 0; i < f.lines.size(); ++i) {
       const std::string_view line = trim_left(f.lines[i]);
@@ -285,6 +346,200 @@ void check_include_hygiene(const std::vector<SourceFile>& files,
         out.push_back(Violation{
             f.relative, i + 1, "include-hygiene",
             "parent-relative include; use a src/-relative path instead"});
+      }
+    }
+  }
+}
+
+void check_explicit_memory_order(const std::vector<SourceFile>& files,
+                                 std::vector<Violation>& out) {
+  // Atomic member operations that accept a std::memory_order argument.
+  // Matched only when preceded by '.' or '>' (i.e. `x.load(`, `p->store(`)
+  // so free functions like `load_etc(` never trip the rule. `exchange(`
+  // cannot match inside `compare_exchange_*(` — the longer names continue
+  // with `_weak`/`_strong`, not `(`.
+  constexpr std::string_view kAtomicOps[] = {
+      "load(",
+      "store(",
+      "exchange(",
+      "fetch_add(",
+      "fetch_sub(",
+      "fetch_and(",
+      "fetch_or(",
+      "fetch_xor(",
+      "compare_exchange_weak(",
+      "compare_exchange_strong(",
+  };
+  // An atomic call may wrap; gather up to this many continuation lines when
+  // balancing the parentheses of the call.
+  constexpr std::size_t kMaxContinuationLines = 10;
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "src/")) continue;
+    if (file_allows(f, "explicit-memory-order")) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& line = f.lines[i];
+      if (starts_with(trim_left(line), "//")) continue;
+      bool flagged = false;  // at most one finding per line
+      for (const std::string_view op : kAtomicOps) {
+        for (std::size_t pos = line.find(op); pos != std::string::npos;
+             pos = line.find(op, pos + 1)) {
+          if (pos == 0) continue;
+          const char before = line[pos - 1];
+          if (before != '.' && before != '>') continue;
+          // Collect the call text from the opening '(' to its matching
+          // ')', spilling across continuation lines for wrapped calls.
+          std::string call_text;
+          int depth = 0;
+          bool closed = false;
+          std::size_t row = i;
+          std::size_t col = pos + op.size() - 1;  // the '(' in the token
+          while (row < f.lines.size() &&
+                 row < i + 1 + kMaxContinuationLines && !closed) {
+            const std::string& scan = f.lines[row];
+            for (; col < scan.size(); ++col) {
+              const char c = scan[col];
+              call_text += c;
+              if (c == '(') ++depth;
+              if (c == ')' && --depth == 0) {
+                closed = true;
+                break;
+              }
+            }
+            ++row;
+            col = 0;
+          }
+          if (call_text.find("memory_order") != std::string::npos) continue;
+          if (line_allows(f, i, "memory-order")) continue;
+          out.push_back(Violation{
+              f.relative, i + 1, "explicit-memory-order",
+              "atomic '" + std::string(op) +
+                  "...)' without an explicit std::memory_order — name the "
+                  "ordering (and justify it in a comment), or audit the "
+                  "site and mark it '// lint:allow(memory-order)'"});
+          flagged = true;
+          break;
+        }
+        if (flagged) break;
+      }
+    }
+  }
+}
+
+void check_no_nondeterminism_in_core(const std::vector<SourceFile>& files,
+                                     std::vector<Violation>& out) {
+  // Layers whose outputs must be a pure function of (problem, seed). The
+  // sim layer may use wall clocks and ambient entropy; these may not.
+  constexpr std::string_view kDeterministicDirs[] = {
+      "src/core/",
+      "src/heuristics/",
+      "src/etc/",
+      "src/ga/",
+  };
+  struct Banned {
+    std::string_view token;
+    bool word_boundary;  // previous char must not be an identifier char
+    std::string_view why;
+  };
+  constexpr Banned kBanned[] = {
+      {"std::random_device", false,
+       "ambient entropy; thread seeded randomness through core/rng.hpp"},
+      {"std::chrono::system_clock", false,
+       "wall-clock time; use steady_clock in sim/ or pass timestamps in"},
+      {"std::unordered_map", false,
+       "iteration order is implementation-defined; use std::map (or sort)"},
+      {"std::unordered_set", false,
+       "iteration order is implementation-defined; use std::set (or sort)"},
+      {"srand(", true, "global RNG reseed; use core/rng.hpp streams"},
+      {"rand(", true, "C global RNG; use core/rng.hpp streams"},
+      {"time(", true, "wall-clock time; pass timestamps in from the caller"},
+  };
+  for (const SourceFile& f : files) {
+    bool in_scope = false;
+    for (const std::string_view dir : kDeterministicDirs) {
+      if (starts_with(f.relative, dir)) in_scope = true;
+    }
+    if (!in_scope) continue;
+    if (file_allows(f, "no-nondeterminism-in-core")) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& line = f.lines[i];
+      if (starts_with(trim_left(line), "//")) continue;
+      for (const Banned& ban : kBanned) {
+        const std::size_t pos = line.find(ban.token);
+        if (pos == std::string::npos) continue;
+        // `rand(` must not fire inside `srand(`; `time(` must not fire
+        // inside `completion_time(` or `steady_clock::now` callers — the
+        // boundary check rejects a preceding identifier character.
+        // (A preceding ':' stays in scope so `std::rand(`/`std::time(`
+        // are still caught.)
+        if (ban.word_boundary && pos > 0 &&
+            is_identifier_char(line[pos - 1])) {
+          continue;
+        }
+        if (line_allows(f, i, "nondeterminism")) continue;
+        // Built with += rather than an operator+ chain: GCC 12 miscompiles
+        // the diagnostic for `const char* + string&&` here into a spurious
+        // -Werror=restrict (GCC PR105651).
+        std::string message = "'";
+        message += ban.token;
+        message += "' in a deterministic layer: ";
+        message += ban.why;
+        message += " (or mark the audited line '// lint:allow("
+                   "nondeterminism)')";
+        out.push_back(Violation{f.relative, i + 1, "no-nondeterminism-in-core",
+                                std::move(message)});
+        break;  // one finding per line
+      }
+    }
+  }
+}
+
+void check_lock_annotation_coverage(const std::vector<SourceFile>& files,
+                                    std::vector<Violation>& out) {
+  // Type tokens that declare a mutex member/variable when they open a
+  // declaration line. References/pointers (`Mutex&`, `std::mutex*`) are
+  // aliases to a capability owned elsewhere and are not declarations.
+  constexpr std::string_view kMutexTypes[] = {
+      "std::mutex ",
+      "core::Mutex ",
+      "Mutex ",
+  };
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "src/")) continue;
+    if (file_allows(f, "lock-annotation-coverage")) continue;
+    std::string file_text;
+    for (const std::string& line : f.lines) {
+      file_text += line;
+      file_text += '\n';
+    }
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      std::string_view line = trim_left(f.lines[i]);
+      if (starts_with(line, "//")) continue;
+      if (starts_with(line, "mutable ")) {
+        line.remove_prefix(sizeof("mutable ") - 1);
+      }
+      for (const std::string_view type : kMutexTypes) {
+        if (!starts_with(line, type)) continue;
+        std::string_view rest = trim_left(line.substr(type.size()));
+        std::size_t len = 0;
+        while (len < rest.size() && is_identifier_char(rest[len])) ++len;
+        if (len == 0) continue;  // not a named declaration
+        const std::string name(rest.substr(0, len));
+        // GUARDED_BY(name) with a closing paren pins the exact mutex name
+        // (so a file holding both `mutex` and `mutex_` cannot satisfy one
+        // with the other's annotation); the bare substring also matches
+        // HCSCHED_PT_GUARDED_BY, which equally proves the lock guards
+        // something.
+        const std::string needle = "GUARDED_BY(" + name + ")";
+        if (file_text.find(needle) != std::string::npos) break;
+        if (line_allows(f, i, "lock-annotation")) break;
+        out.push_back(Violation{
+            f.relative, i + 1, "lock-annotation-coverage",
+            "mutex '" + name +
+                "' has no GUARDED_BY/PT_GUARDED_BY field naming it — "
+                "annotate what it protects (core/thread_annotations.hpp), "
+                "or mark the audited line '// lint:allow("
+                "lock-annotation)'"});
+        break;
       }
     }
   }
@@ -329,6 +584,9 @@ int main(int argc, char** argv) {
   check_trace_guard(files, violations);
   check_test_registration(root, files, violations);
   check_include_hygiene(files, violations);
+  check_explicit_memory_order(files, violations);
+  check_no_nondeterminism_in_core(files, violations);
+  check_lock_annotation_coverage(files, violations);
 
   std::sort(violations.begin(), violations.end(),
             [](const Violation& a, const Violation& b) {
