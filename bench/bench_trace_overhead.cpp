@@ -9,9 +9,19 @@
 //   * jsonl_sink    — events are serialized to a JSON line (into a string
 //                     stream, so no disk in the loop).
 //
-// Build the library with -DHCSCHED_TRACE=0 and re-run to verify the
-// compile-time kill switch: all four rows then collapse onto the baseline
-// because every instrumentation site compiled to a no-op.
+// Micro-cases isolate the span and metric primitives the study pipeline
+// leans on since the profiling layer landed:
+//   * span_enter_exit       — one HCSCHED_SPAN open/close, no sink / ring
+//                             sink (the per-iteration span cost),
+//   * metric_counter_add    — one HCSCHED_METRIC_COUNT hit (cached-static
+//                             lookup plus a relaxed fetch_add),
+//   * metric_histogram_rec  — one HCSCHED_METRIC_OBSERVE (bucket index plus
+//                             three relaxed fetch_adds).
+//
+// Build the library with -DHCSCHED_TRACE=0 (the `trace-off` preset) and
+// re-run to verify the compile-time kill switch: every row collapses onto
+// its baseline — the macro sites compile to `do { } while (0)`, so the
+// span/metric micro-cases measure an empty loop body.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -20,6 +30,8 @@
 #include "core/iterative.hpp"
 #include "etc/cvb_generator.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "rng/rng.hpp"
 
@@ -83,10 +95,55 @@ void BM_JsonlSink(benchmark::State& state) {
   run_iterative(state, std::make_shared<OwningJsonl>(std::move(stream)));
 }
 
+// --- span / metric primitive micro-costs ---------------------------------
+
+void BM_SpanEnterExitNoSink(benchmark::State& state) {
+  // No sink installed: the span constructor takes the not-recording early
+  // exit (one atomic load), allocating no IDs and reading no clock. Under
+  // trace-off this is an empty loop body — the zero-overhead pin.
+  for (auto _ : state) {
+    HCSCHED_SPAN(span, "bench.probe");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetLabel(obs::kTraceCompiledIn ? "trace compiled in"
+                                       : "trace compiled out");
+}
+
+void BM_SpanEnterExitRingSink(benchmark::State& state) {
+  const obs::ScopedSink scope(std::make_shared<obs::RingBufferSink>(4096));
+  for (auto _ : state) {
+    HCSCHED_SPAN(span, "bench.probe");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetLabel(obs::kTraceCompiledIn ? "trace compiled in"
+                                       : "trace compiled out");
+}
+
+void BM_MetricCounterAdd(benchmark::State& state) {
+  for (auto _ : state) {
+    HCSCHED_METRIC_COUNT("hcsched_bench_probe_total", "", 1);
+  }
+  state.SetLabel(obs::kTraceCompiledIn ? "trace compiled in"
+                                       : "trace compiled out");
+}
+
+void BM_MetricHistogramRecord(benchmark::State& state) {
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    HCSCHED_METRIC_OBSERVE("hcsched_bench_probe_ns", "", ++v);
+  }
+  state.SetLabel(obs::kTraceCompiledIn ? "trace compiled in"
+                                       : "trace compiled out");
+}
+
 BENCHMARK(BM_Baseline)->Arg(64)->Arg(256);
 BENCHMARK(BM_NullSink)->Arg(64)->Arg(256);
 BENCHMARK(BM_RingSink)->Arg(64)->Arg(256);
 BENCHMARK(BM_JsonlSink)->Arg(64)->Arg(256);
+BENCHMARK(BM_SpanEnterExitNoSink);
+BENCHMARK(BM_SpanEnterExitRingSink);
+BENCHMARK(BM_MetricCounterAdd);
+BENCHMARK(BM_MetricHistogramRecord);
 
 }  // namespace
 

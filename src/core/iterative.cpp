@@ -8,6 +8,8 @@
 #include "core/check.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sched/metrics.hpp"
 
@@ -94,6 +96,13 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
     throw std::invalid_argument("IterativeMinimizer: no machines");
   }
   HCSCHED_COUNT(obs::Counter::kIterativeRuns);
+  // Wall time of the whole minimization (all rounds of one heuristic) shows
+  // up in `study --profile` keyed by heuristic name.
+  HCSCHED_SPAN(run_span, "iterative:" + std::string(heuristic.name()));
+  HCSCHED_SPAN_ATTR(run_span, "heuristic", obs::JsonValue(heuristic.name()));
+  HCSCHED_SPAN_ATTR(run_span, "tasks", obs::JsonValue(problem.num_tasks()));
+  HCSCHED_SPAN_ATTR(run_span, "machines",
+                    obs::JsonValue(problem.num_machines()));
   IterativeResult result;
   // Final finishing times keyed in initial machine order; filled in as
   // machines are removed.
@@ -120,12 +129,21 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
   for (;;) {
     IterationRecord record;
     record.index = index;
-    record.schedule = options_.use_seeding
-                          ? heuristic.map_seeded(current, ties, seed)
-                          : heuristic.map(current, ties);
-    record.makespan = record.schedule.makespan();
-    record.makespan_machine =
-        record.schedule.makespan_machine(options_.epsilon);
+    {
+      HCSCHED_SPAN(iteration_span, "iteration");
+      record.schedule = options_.use_seeding
+                            ? heuristic.map_seeded(current, ties, seed)
+                            : heuristic.map(current, ties);
+      record.makespan = record.schedule.makespan();
+      record.makespan_machine =
+          record.schedule.makespan_machine(options_.epsilon);
+      HCSCHED_SPAN_ATTR(iteration_span, "index", obs::JsonValue(index));
+      HCSCHED_SPAN_ATTR(iteration_span, "makespan",
+                        obs::JsonValue(record.makespan));
+      HCSCHED_SPAN_ATTR(
+          iteration_span, "makespan_machine",
+          obs::JsonValue("m" + std::to_string(record.makespan_machine)));
+    }
     // Heuristics must return complete mappings: every task of the (current,
     // possibly shrunk) problem assigned exactly once.
     HCSCHED_INVARIANT(record.schedule.complete(), "iteration ", index,
@@ -134,6 +152,8 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
     result.iterations.push_back(std::move(record));
     const IterationRecord& done = result.iterations.back();
     HCSCHED_COUNT(obs::Counter::kIterativeIterations);
+    HCSCHED_METRIC_COUNT("hcsched_iterative_iterations_total",
+                         "Iterative-minimization rounds executed", 1);
 
     // Cancellation degrades gracefully: the just-produced mapping (itself a
     // best-so-far result from any cancelled anytime heuristic) becomes the
@@ -207,6 +227,8 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
     obs::Tracer::emit("iterative.done", std::move(fields));
   }
 #endif
+  HCSCHED_SPAN_ATTR(run_span, "iterations",
+                    obs::JsonValue(result.iterations.size()));
   return result;
 }
 

@@ -22,6 +22,8 @@
 #include "heuristics/fastpath/etc_view.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace hcsched::heuristics::fastpath {
 
@@ -48,6 +50,18 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
   HCSCHED_PRECONDITION(m > 0, "two_phase_greedy_fast: problem with ", n,
                        " tasks but no machines");
 
+  // One span per kernel invocation with the rescore/replay split as
+  // attributes — per-decision spans would dwarf the work they measure.
+  HCSCHED_SPAN(kernel_span, "fastpath.two_phase");
+  HCSCHED_SPAN_ATTR(kernel_span, "tasks", obs::JsonValue(n));
+  HCSCHED_SPAN_ATTR(kernel_span, "machines", obs::JsonValue(m));
+  HCSCHED_SPAN_ATTR(kernel_span, "prefer_largest",
+                    obs::JsonValue(prefer_largest));
+#if HCSCHED_TRACE
+  std::uint64_t rescores = 0;
+  std::uint64_t replays = 0;
+#endif
+
   const EtcView view(problem);
   std::vector<double> ready = problem.initial_ready_times();
 
@@ -68,6 +82,9 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
       if (stale[p]) {
         HCSCHED_COUNT(obs::Counter::kEtcCellEvaluations, m);
         HCSCHED_COUNT(obs::Counter::kFastpathRescores);
+#if HCSCHED_TRACE
+        ++rescores;
+#endif
         double best = ready[0] + etc_row[0];
         for (std::size_t slot = 1; slot < m; ++slot) {
           best = std::min(best, ready[slot] + etc_row[slot]);
@@ -82,6 +99,9 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
         stale[p] = 0;
       } else {
         HCSCHED_COUNT(obs::Counter::kFastpathReplays);
+#if HCSCHED_TRACE
+        ++replays;
+#endif
       }
       // Re-drawn every round even from cache: under TiePolicy::kRandom the
       // reference re-rolls tied candidates each round, and the decision /
@@ -131,6 +151,12 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
       }
     }
   }
+  HCSCHED_METRIC_COUNT("hcsched_fastpath_rescores_total",
+                       "Fastpath phase-one full rescores", rescores);
+  HCSCHED_METRIC_COUNT("hcsched_fastpath_replays_total",
+                       "Fastpath phase-one cached replays", replays);
+  HCSCHED_SPAN_ATTR(kernel_span, "rescores", obs::JsonValue(rescores));
+  HCSCHED_SPAN_ATTR(kernel_span, "replays", obs::JsonValue(replays));
   return schedule;
 }
 

@@ -1,6 +1,8 @@
 #include "heuristics/heuristic.hpp"
 
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault/fault.hpp"  // dependency-light by design (see its header)
 
@@ -21,7 +23,15 @@ class CallScope {
       : heuristic_(heuristic),
         problem_(problem),
         seeded_(seeded),
-        start_(std::chrono::steady_clock::now()) {}
+        span_("map:" + std::string(heuristic.name())),
+        start_(std::chrono::steady_clock::now()) {
+    // The span inherits the calling context (iteration span, trial span)
+    // so per-heuristic time lands under the right profile path.
+    if (span_.recording()) {
+      span_.attr("heuristic", obs::JsonValue(heuristic.name()));
+      span_.attr("seeded", obs::JsonValue(seeded));
+    }
+  }
 
   ~CallScope() {
     const auto elapsed = std::chrono::steady_clock::now() - start_;
@@ -30,6 +40,10 @@ class CallScope {
             .count());
     obs::counters::add(obs::Counter::kHeuristicInvocations);
     obs::record_heuristic_call(heuristic_.name(), ns);
+    HCSCHED_METRIC_COUNT("hcsched_heuristic_invocations_total",
+                         "Heuristic map/map_seeded calls", 1);
+    HCSCHED_METRIC_OBSERVE("hcsched_heuristic_map_ns",
+                           "Latency of one heuristic mapping call", ns);
     HCSCHED_TRACE_EVENT(
         "heuristic.call",
         {{"heuristic", obs::JsonValue(heuristic_.name())},
@@ -43,6 +57,9 @@ class CallScope {
   const Heuristic& heuristic_;
   const Problem& problem_;
   bool seeded_;
+  // Declared before start_ so the span's window covers the whole call and
+  // closes (emits) after the duration is taken.
+  obs::ScopedSpan span_;
   std::chrono::steady_clock::time_point start_;
 };
 #endif

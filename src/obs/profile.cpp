@@ -1,0 +1,142 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/span.hpp"
+
+namespace hcsched::obs {
+namespace {
+
+struct SpanIndex {
+  // parent span_id -> indices of captured children, in arrival order.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> children;
+  std::vector<std::size_t> roots;
+};
+
+}  // namespace
+
+void SpanCollector::consume(const TraceEvent& event) {
+  if (event.name != "span") return;
+  RawSpan raw;
+  for (const auto& [key, value] : event.fields) {
+    if (key == "name" && value.is_string()) {
+      raw.name = value.as_string();
+    } else if (key == "span_id" && value.is_string()) {
+      raw.span_id = parse_span_id(value.as_string());
+    } else if (key == "parent_span_id" && value.is_string()) {
+      raw.parent_id = parse_span_id(value.as_string());
+    } else if (key == "duration_ns" && value.is_number()) {
+      raw.duration_ns = static_cast<std::uint64_t>(value.as_number());
+    }
+  }
+  if (raw.span_id == 0) return;  // malformed; IDs are never zero
+  const core::MutexLock lock(mutex_);
+  spans_.push_back(std::move(raw));
+}
+
+std::size_t SpanCollector::size() const {
+  const core::MutexLock lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<ProfileNode> SpanCollector::aggregate() const {
+  std::vector<RawSpan> spans;
+  {
+    const core::MutexLock lock(mutex_);
+    spans = spans_;
+  }
+
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(spans.size());
+  for (const RawSpan& s : spans) ids.insert(s.span_id);
+
+  SpanIndex index;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const RawSpan& s = spans[i];
+    // A parent that was never captured (sink installed mid-run, ring
+    // eviction) promotes the orphan to a root rather than dropping it.
+    if (s.parent_id != 0 && ids.count(s.parent_id) != 0) {
+      index.children[s.parent_id].push_back(i);
+    } else {
+      index.roots.push_back(i);
+    }
+  }
+
+  // Merges sibling spans by name; std::map keys give a deterministic
+  // grouping order before the final hot-first sort.
+  auto merge = [&spans, &index](auto&& self,
+                                const std::vector<std::size_t>& siblings)
+      -> std::vector<ProfileNode> {
+    std::map<std::string, std::vector<std::size_t>> by_name;
+    for (std::size_t i : siblings) by_name[spans[i].name].push_back(i);
+
+    std::vector<ProfileNode> nodes;
+    nodes.reserve(by_name.size());
+    for (auto& [name, group] : by_name) {
+      ProfileNode node;
+      node.name = name;
+      node.count = group.size();
+      std::vector<std::size_t> grandchildren;
+      for (std::size_t i : group) {
+        node.total_ns += spans[i].duration_ns;
+        if (auto it = index.children.find(spans[i].span_id);
+            it != index.children.end()) {
+          grandchildren.insert(grandchildren.end(), it->second.begin(),
+                               it->second.end());
+        }
+      }
+      node.children = self(self, grandchildren);
+      std::uint64_t child_total = 0;
+      for (const ProfileNode& child : node.children) {
+        child_total += child.total_ns;
+      }
+      // Clamp: a child's clock window can slightly overhang its parent's.
+      node.self_ns =
+          node.total_ns > child_total ? node.total_ns - child_total : 0;
+      nodes.push_back(std::move(node));
+    }
+    std::sort(nodes.begin(), nodes.end(),
+              [](const ProfileNode& a, const ProfileNode& b) {
+                if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+                return a.name < b.name;
+              });
+    return nodes;
+  };
+  return merge(merge, index.roots);
+}
+
+JsonValue profile_node_to_json(const ProfileNode& node) {
+  JsonValue::Object object;
+  object.emplace_back("name", JsonValue(node.name));
+  object.emplace_back("count", JsonValue(node.count));
+  object.emplace_back("total_ns", JsonValue(node.total_ns));
+  object.emplace_back("self_ns", JsonValue(node.self_ns));
+  JsonValue::Array children;
+  children.reserve(node.children.size());
+  for (const ProfileNode& child : node.children) {
+    children.emplace_back(profile_node_to_json(child));
+  }
+  object.emplace_back("children", JsonValue(std::move(children)));
+  return JsonValue(std::move(object));
+}
+
+JsonValue SpanCollector::to_json() const {
+  const std::vector<ProfileNode> roots = aggregate();
+  std::size_t captured = size();
+  JsonValue::Object object;
+  object.emplace_back("profile", JsonValue("hcsched.profile.v1"));
+  object.emplace_back("spans", JsonValue(captured));
+  JsonValue::Array out;
+  out.reserve(roots.size());
+  for (const ProfileNode& root : roots) {
+    out.emplace_back(profile_node_to_json(root));
+  }
+  object.emplace_back("roots", JsonValue(std::move(out)));
+  return JsonValue(std::move(object));
+}
+
+}  // namespace hcsched::obs

@@ -1,0 +1,74 @@
+// Span aggregation: raw `span` events -> a merged profile tree.
+//
+// SpanCollector is a TraceSink that retains every `span` event it sees
+// (other event kinds pass through untouched — tee it with a JsonlSink when
+// both a trace file and a profile are wanted). aggregate() reconstructs the
+// parent/child structure from span_id / parent_span_id and merges nodes
+// with the same name under the same path, yielding, per node:
+//
+//   count     — how many spans merged into it,
+//   total_ns  — summed wall time of those spans,
+//   self_ns   — total_ns minus the children's total (time attributable to
+//               the node itself, clamped at zero against clock jitter).
+//
+// Because spans emit on *close*, children always arrive before their
+// parents, so the collector just stores raw rows and defers all tree work
+// to aggregate(). Roots (no parent, or a parent that was never captured —
+// e.g. evicted by sampling) sort siblings by descending total time, ties by
+// name, so the hottest path reads top-down.
+//
+// The `--profile out.json` CLI flag writes to_json() of a collector that
+// observed the run: {"profile": "hcsched.profile.v1", "spans": N,
+// "roots": [...]} with each node {name, count, total_ns, self_ns,
+// children}. tools/bench_check validates this shape.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/thread_annotations.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace hcsched::obs {
+
+/// One merged node of the aggregated span tree.
+struct ProfileNode {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t self_ns = 0;
+  std::vector<ProfileNode> children{};
+};
+
+class SpanCollector final : public TraceSink {
+ public:
+  void consume(const TraceEvent& event) override;
+
+  /// Raw span events captured so far.
+  std::size_t size() const HCSCHED_EXCLUDES(mutex_);
+
+  /// Merges the captured spans into a forest (see file comment).
+  std::vector<ProfileNode> aggregate() const HCSCHED_EXCLUDES(mutex_);
+
+  /// The profile document: {"profile": "hcsched.profile.v1", "spans": N,
+  /// "roots": [...]}.
+  JsonValue to_json() const HCSCHED_EXCLUDES(mutex_);
+
+ private:
+  struct RawSpan {
+    std::string name;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;  // 0 = root
+    std::uint64_t duration_ns = 0;
+  };
+
+  mutable core::Mutex mutex_;
+  std::vector<RawSpan> spans_ HCSCHED_GUARDED_BY(mutex_){};
+};
+
+/// Serializes one ProfileNode (recursive; used by to_json and tests).
+JsonValue profile_node_to_json(const ProfileNode& node);
+
+}  // namespace hcsched::obs

@@ -77,6 +77,21 @@ void RingBufferSink::clear() {
   dropped_ = 0;
 }
 
+TeeSink::TeeSink(std::vector<std::shared_ptr<TraceSink>> sinks)
+    : sinks_(std::move(sinks)) {}
+
+void TeeSink::consume(const TraceEvent& event) {
+  for (const auto& sink : sinks_) {
+    if (sink) sink->consume(event);
+  }
+}
+
+void TeeSink::flush() {
+  for (const auto& sink : sinks_) {
+    if (sink) sink->flush();
+  }
+}
+
 JsonlSink::JsonlSink(std::ostream& out) : out_(&out) {}
 
 JsonlSink::JsonlSink(const std::string& path)

@@ -105,6 +105,20 @@ class JsonlSink final : public TraceSink {
   std::ostream* out_ HCSCHED_PT_GUARDED_BY(mutex_);
 };
 
+/// Fans every event out to two or more sinks in order (the CLI combines a
+/// JSONL trace file with the in-memory span collector behind --profile).
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<std::shared_ptr<TraceSink>> sinks);
+
+  void consume(const TraceEvent& event) override;
+  void flush() override;
+
+ private:
+  // Immutable after construction; each downstream sink serializes itself.
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+};
+
 /// Process-global event router. install() swaps the active sink (nullptr
 /// deactivates tracing); active() is the cheap fast-path check used by the
 /// HCSCHED_TRACE_EVENT macro.

@@ -7,6 +7,8 @@
 
 #include "obs/counters.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault/fault.hpp"
 
@@ -160,6 +162,7 @@ std::optional<std::pair<CheckpointKey, TrialOutcome>> decode_trial(
 }
 
 CheckpointData load_checkpoint(const std::string& path) {
+  HCSCHED_SPAN(load_span, "checkpoint.load");
   CheckpointData data;
   std::ifstream in(path);
   if (!in.is_open()) return data;  // resuming from nothing
@@ -179,6 +182,9 @@ CheckpointData load_checkpoint(const std::string& path) {
                            {"line", obs::JsonValue(data.lines_read)}});
     }
   }
+  HCSCHED_SPAN_ATTR(load_span, "lines", obs::JsonValue(data.lines_read));
+  HCSCHED_SPAN_ATTR(load_span, "corrupt",
+                    obs::JsonValue(data.corrupt_lines));
   return data;
 }
 
@@ -193,6 +199,8 @@ CheckpointWriter::CheckpointWriter(const std::string& path)
 void CheckpointWriter::append_trial(const CheckpointKey& key,
                                     const TrialOutcome& outcome) {
   fault::maybe_inject(fault::Site::kCheckpointWrite, key.trial);
+  HCSCHED_SPAN(write_span, "checkpoint.append");
+  HCSCHED_SPAN_ATTR(write_span, "trial", obs::JsonValue(key.trial));
   const std::string line = encode_trial(key, outcome);
   const core::MutexLock lock(mutex_);
   out_ << line << '\n';
@@ -201,6 +209,8 @@ void CheckpointWriter::append_trial(const CheckpointKey& key,
     throw std::runtime_error("checkpoint: write to " + path_ + " failed");
   }
   HCSCHED_COUNT(obs::Counter::kCheckpointTrialsWritten);
+  HCSCHED_METRIC_COUNT("hcsched_checkpoint_writes_total",
+                       "Trial outcomes appended to a checkpoint file", 1);
   HCSCHED_TRACE_EVENT("checkpoint.trial_written",
                       {{"point", obs::JsonValue(key.point)},
                        {"trial", obs::JsonValue(key.trial)}});

@@ -11,7 +11,10 @@
 #include "core/iterative.hpp"
 #include "heuristics/registry.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
+#include "rng/splitmix64.hpp"
 #include "sched/metrics.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/fault/fault.hpp"
@@ -29,6 +32,17 @@ std::uint64_t heuristic_fault_key(std::size_t trial, std::size_t h,
   return static_cast<std::uint64_t>(trial) * heuristic_count + h;
 }
 
+#if HCSCHED_TRACE
+/// Root-trace seed of one trial's span tree: a pure function of
+/// (study seed, trial), so resumed or re-run studies emit identical span
+/// and trace IDs regardless of thread scheduling. The salt separates this
+/// stream from every study RNG stream.
+std::uint64_t trial_trace_seed(std::uint64_t study_seed, std::size_t trial) {
+  rng::SplitMix64 mix(study_seed ^ 0x7370616e2d736565ULL);
+  return mix.next() ^ (trial * 0x9e3779b97f4a7c15ULL);
+}
+#endif
+
 /// Runs every heuristic of one trial, capturing failures as quarantine
 /// records instead of throwing. Deterministic given (params, trial): the
 /// trial RNG stream is derived by jumping, and each heuristic draws its
@@ -43,6 +57,13 @@ TrialOutcome run_one_trial(
   TrialOutcome outcome;
   outcome.completed = true;
   const fault::ScopedKey trial_key(trial);
+  // Every (trial, heuristic) execution — including quarantined ones, whose
+  // stack unwinding closes the nested spans — lands under this
+  // deterministic trace root.
+  HCSCHED_SPAN_SEEDED(trial_span, "trial",
+                      trial_trace_seed(params.seed, trial));
+  HCSCHED_SPAN_ATTR(trial_span, "trial", obs::JsonValue(trial));
+  HCSCHED_SPAN_ATTR(trial_span, "seed", obs::JsonValue(params.seed));
 
   // Independent, thread-count-agnostic stream per trial.
   rng::Rng trial_rng = rng::Rng(params.seed).split(trial);
@@ -57,6 +78,9 @@ TrialOutcome run_one_trial(
         trial, params.seed, std::string{},
         std::string(fault::to_string(fault.site())), fault.what()});
     HCSCHED_COUNT(obs::Counter::kTrialsQuarantined);
+    HCSCHED_METRIC_COUNT("hcsched_trials_quarantined_total",
+                         "Trials with at least one quarantined execution", 1);
+    HCSCHED_SPAN_ATTR(trial_span, "quarantined", obs::JsonValue(true));
     return outcome;
   }
   const sched::Problem problem = sched::Problem::full(*matrix);
@@ -141,7 +165,12 @@ TrialOutcome run_one_trial(
            {"site", obs::JsonValue("exception")}});
     }
   }
-  if (trial_quarantined) HCSCHED_COUNT(obs::Counter::kTrialsQuarantined);
+  if (trial_quarantined) {
+    HCSCHED_COUNT(obs::Counter::kTrialsQuarantined);
+    HCSCHED_METRIC_COUNT("hcsched_trials_quarantined_total",
+                         "Trials with at least one quarantined execution", 1);
+    HCSCHED_SPAN_ATTR(trial_span, "quarantined", obs::JsonValue(true));
+  }
   return outcome;
 }
 
@@ -216,6 +245,18 @@ StudyReport run_iterative_study_report(const StudyParams& params,
   std::vector<TrialOutcome> outcomes(params.trials);
   std::atomic<std::size_t> replayed{0};
 
+  // The study's own (main-thread) span: covers scheduling, the barrier
+  // wait, and the fold. Trial trees are separate deterministic roots — see
+  // trial_trace_seed — because they run on worker-thread stacks.
+  HCSCHED_SPAN_SEEDED(study_span, "study",
+                      params.seed ^ 0x73747564792d3173ULL);
+  HCSCHED_SPAN_ATTR(study_span, "trials", obs::JsonValue(params.trials));
+  HCSCHED_SPAN_ATTR(study_span, "heuristics",
+                    obs::JsonValue(params.heuristics.size()));
+  if (!hooks.point_label.empty()) {
+    HCSCHED_SPAN_ATTR(study_span, "point", obs::JsonValue(hooks.point_label));
+  }
+
   pool.parallel_for_chunks(
       params.trials,
       [&](std::size_t begin, std::size_t end) {
@@ -274,6 +315,8 @@ StudyReport run_iterative_study_report(const StudyParams& params,
       report.trials_completed < report.trials_requested) {
     report.cancelled = true;
     HCSCHED_COUNT(obs::Counter::kStudiesCancelled);
+    HCSCHED_METRIC_COUNT("hcsched_studies_cancelled_total",
+                         "Studies that hit their cancellation budget", 1);
     HCSCHED_TRACE_EVENT(
         "study.cancelled",
         {{"trials_completed", obs::JsonValue(report.trials_completed)},

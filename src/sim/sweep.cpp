@@ -1,5 +1,6 @@
 #include "sim/sweep.hpp"
 
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 
 namespace hcsched::sim {
@@ -67,7 +68,12 @@ std::vector<SweepReportResult> run_sweep_report(
     point_hooks.point_label = point.label;
     SweepReportResult r;
     r.point = point;
-    r.report = run_iterative_study_report(params, pool, point_hooks);
+    {
+      // Main-thread span per sweep point; the study span nests under it.
+      HCSCHED_SPAN(point_span, "sweep:" + point.label);
+      HCSCHED_SPAN_ATTR(point_span, "label", obs::JsonValue(point.label));
+      r.report = run_iterative_study_report(params, pool, point_hooks);
+    }
     results.push_back(std::move(r));
   }
   return results;

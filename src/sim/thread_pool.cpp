@@ -6,6 +6,8 @@
 
 #include "core/check.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/fault/fault.hpp"
 
 #if HCSCHED_TRACE
@@ -73,10 +75,22 @@ std::future<void> ThreadPool::submit(std::function<void()> job) {
   obs::counters::add(obs::Counter::kPoolTasksSubmitted);
   const auto enqueued = std::chrono::steady_clock::now();
   std::packaged_task<void()> task([job = std::move(job), enqueued] {
-    obs::pool_wait_histogram().record_ns(elapsed_ns(enqueued));
+    const std::uint64_t wait_ns = elapsed_ns(enqueued);
+    obs::pool_wait_histogram().record_ns(wait_ns);
+    HCSCHED_METRIC_OBSERVE("hcsched_pool_wait_ns",
+                           "Queue wait of one pool job (submit to start)",
+                           wait_ns);
     const auto started = std::chrono::steady_clock::now();
-    job();
-    obs::pool_run_histogram().record_ns(elapsed_ns(started));
+    {
+      HCSCHED_SPAN(job_span, "pool.job");
+      HCSCHED_SPAN_ATTR(job_span, "queue_wait_ns", obs::JsonValue(wait_ns));
+      job();
+    }
+    const std::uint64_t run_ns = elapsed_ns(started);
+    obs::pool_run_histogram().record_ns(run_ns);
+    HCSCHED_METRIC_OBSERVE("hcsched_pool_run_ns",
+                           "Run latency of one pool job (start to finish)",
+                           run_ns);
     obs::counters::add(obs::Counter::kPoolTasksCompleted);
   });
 #else
@@ -95,6 +109,8 @@ void ThreadPool::enqueue_locked(std::packaged_task<void()> task) {
   queue_.push_back(std::move(task));
 #if HCSCHED_TRACE
   obs::record_queue_depth(queue_.size());
+  HCSCHED_METRIC_GAUGE_SET("hcsched_pool_queue_depth",
+                           "Jobs waiting in the pool queue", queue_.size());
 #endif
 }
 

@@ -13,9 +13,14 @@
 //   hcsched_cli study    [--trials N] [--tasks N] [--machines M]
 //                        [--ties det|random] [--seed S] [--budget-ms N]
 //                        [--checkpoint FILE] [--resume FILE]
+//                        [--profile FILE.json]
 //   hcsched_cli sweep    [--trials N] [--tasks N] [--machines M]
 //                        [--ties det|random] [--seed S] [--budget-ms N]
 //                        [--checkpoint FILE] [--resume FILE]
+//                        [--profile FILE.json]
+//   hcsched_cli stats    [--trials N] [--tasks N] [--machines M]
+//                        [--ties det|random] [--seed S]
+//                        [--format json|prom]
 //   hcsched_cli witness  --heuristic NAME [--tasks N] [--machines M]
 //                        [--ties det|random] [--max-trials N] [--seed S]
 //   hcsched_cli optimal  --etc FILE [--node-limit N]
@@ -30,6 +35,12 @@
 //                        (the HCSCHED_FAULT env var does the same); see
 //                        docs/ROBUSTNESS.md for the site registry
 //   --version / -V       print the version and exit
+//
+// study/sweep only:
+//   --profile FILE.json  aggregate the run's spans into a profile tree
+//                        (per-phase count / total / self wall time) and
+//                        write it to FILE; stdout is unchanged, so resumed
+//                        runs stay byte-identical with or without it
 //
 // Exit status: 0 on success, 1 on bad usage — including unknown flags and
 // malformed numeric values — or (witness) not found. Usage/help goes to
@@ -59,6 +70,9 @@
 #include "etc/range_generator.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
 #include "heuristics/registry.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "report/gantt.hpp"
@@ -174,8 +188,8 @@ void print_usage(std::FILE* out) {
   std::fprintf(
       out,
       "usage: hcsched_cli "
-      "<list|generate|map|iterate|report|study|sweep|witness|optimal|online> "
-      "[--flags]\n"
+      "<list|generate|map|iterate|report|study|sweep|stats|witness|optimal|"
+      "online> [--flags]\n"
       "global flags: --trace FILE.jsonl (stream structured events), "
       "--no-fastpath (reference two-phase greedy loop), "
       "--fault <site>:<rate>[:<seed>] (arm fault injection), --version\n"
@@ -445,6 +459,58 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+int cmd_stats(const Args& args) {
+  const std::string format = args.get_or("format", "json");
+  if (format != "json" && format != "prom") {
+    throw std::invalid_argument("unknown --format '" + format +
+                                "' (want json|prom)");
+  }
+  if (!obs::kTraceCompiledIn) {
+    std::fprintf(stderr,
+                 "warning: built with HCSCHED_TRACE=0; stats will report "
+                 "zeros\n");
+  }
+  const sim::StudyParams params = study_params_from(args);
+  obs::counters::reset();
+  obs::metrics::reset();
+  sim::StudyReport report;
+  {
+    sim::ThreadPool pool;
+    report = sim::run_iterative_study_report(params, pool);
+  }  // joining the pool flushes every worker's counter buffer
+
+  if (format == "prom") {
+    // Typed metrics first, then the fixed counter table as one labelled
+    // family so scrape configs need no per-counter name list.
+    std::string text = obs::metrics::prometheus_text();
+    text +=
+        "# HELP hcsched_ops_total Monotonic operation counters (see "
+        "docs/OBSERVABILITY.md)\n"
+        "# TYPE hcsched_ops_total counter\n";
+    const obs::JsonValue counters = obs::counters::snapshot().to_json();
+    for (const auto& [name, value] : counters.as_object()) {
+      text += "hcsched_ops_total{op=\"" + name + "\"} " +
+              std::to_string(static_cast<unsigned long long>(
+                  value.as_number())) +
+              "\n";
+    }
+    std::printf("%s", text.c_str());
+  } else {
+    obs::JsonValue::Object root;
+    root.reserve(5);
+    root.emplace_back("schema", obs::JsonValue("hcsched.stats.v1"));
+    root.emplace_back("trials", obs::JsonValue(report.trials_completed));
+    root.emplace_back("heuristics",
+                      obs::JsonValue(params.heuristics.size()));
+    root.emplace_back("metrics",
+                      obs::metrics::snapshot_json().at("metrics"));
+    root.emplace_back("counters", obs::counters::snapshot().to_json());
+    std::printf("%s\n", obs::JsonValue(std::move(root)).dump(2).c_str());
+  }
+  print_report_notices(report, "stats");
+  return 0;
+}
+
 int cmd_witness(const Args& args) {
   const auto name = args.get("heuristic");
   if (!name) throw std::invalid_argument("--heuristic NAME is required");
@@ -542,7 +608,11 @@ bool declare_flags(const std::string& command, Args& args) {
   }
   if (command == "study" || command == "sweep") {
     args.allow({"trials", "tasks", "machines", "ties", "seed", "budget-ms",
-                "checkpoint", "resume"});
+                "checkpoint", "resume", "profile"});
+    return true;
+  }
+  if (command == "stats") {
+    args.allow({"trials", "tasks", "machines", "ties", "seed", "format"});
     return true;
   }
   if (command == "witness") {
@@ -610,28 +680,70 @@ int main(int argc, char** argv) {
         specs.remove_prefix(comma + 1);
       }
     }
-    if (const auto trace_path = args.get("trace")) {
+    const auto trace_path = args.get("trace");
+    const auto profile_path = args.get("profile");
+    std::shared_ptr<obs::SpanCollector> profiler;
+    if (trace_path || profile_path) {
       if (!obs::kTraceCompiledIn) {
         std::fprintf(stderr,
-                     "warning: built with HCSCHED_TRACE=0; --trace will "
-                     "produce no events\n");
+                     "warning: built with HCSCHED_TRACE=0; %s will "
+                     "produce no events\n",
+                     trace_path ? "--trace" : "--profile");
       }
-      trace_scope.emplace(std::make_shared<obs::JsonlSink>(*trace_path));
+      std::shared_ptr<obs::TraceSink> sink;
+      if (trace_path) sink = std::make_shared<obs::JsonlSink>(*trace_path);
+      if (profile_path) {
+        profiler = std::make_shared<obs::SpanCollector>();
+        sink = sink ? std::static_pointer_cast<obs::TraceSink>(
+                          std::make_shared<obs::TeeSink>(
+                              std::vector<std::shared_ptr<obs::TraceSink>>{
+                                  std::move(sink), profiler}))
+                    : std::static_pointer_cast<obs::TraceSink>(profiler);
+      }
+      trace_scope.emplace(std::move(sink));
     }
-    if (command == "list") return cmd_list();
-    if (command == "generate") return cmd_generate(args);
-    if (command == "map") return cmd_map(args);
-    if (command == "iterate") return cmd_iterate(args);
-    if (command == "report") return cmd_report(args);
-    if (command == "study") return cmd_study(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "witness") return cmd_witness(args);
-    if (command == "optimal") return cmd_optimal(args);
-    if (command == "online") return cmd_online(args);
+    int status = 1;
+    if (command == "list") {
+      status = cmd_list();
+    } else if (command == "generate") {
+      status = cmd_generate(args);
+    } else if (command == "map") {
+      status = cmd_map(args);
+    } else if (command == "iterate") {
+      status = cmd_iterate(args);
+    } else if (command == "report") {
+      status = cmd_report(args);
+    } else if (command == "study") {
+      status = cmd_study(args);
+    } else if (command == "sweep") {
+      status = cmd_sweep(args);
+    } else if (command == "stats") {
+      status = cmd_stats(args);
+    } else if (command == "witness") {
+      status = cmd_witness(args);
+    } else if (command == "optimal") {
+      status = cmd_optimal(args);
+    } else if (command == "online") {
+      status = cmd_online(args);
+    } else {
+      std::fprintf(stderr, "error: unreachable subcommand dispatch\n");
+      return 1;
+    }
+    // Every span is closed by now (the subcommand joined its pool), so the
+    // collector holds the complete forest. The profile goes to its own file
+    // and a stderr notice — stdout stays byte-identical either way.
+    if (profiler) {
+      std::ofstream out(*profile_path);
+      if (!out) {
+        throw std::invalid_argument("cannot write '" + *profile_path + "'");
+      }
+      out << profiler->to_json().dump(2) << '\n';
+      std::fprintf(stderr, "profile: wrote %zu span(s) to %s\n",
+                   profiler->size(), profile_path->c_str());
+    }
+    return status;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  std::fprintf(stderr, "error: unreachable subcommand dispatch\n");
-  return 1;
 }

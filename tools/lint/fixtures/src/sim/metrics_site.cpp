@@ -1,0 +1,16 @@
+// Fixture for metric-docs: an undocumented metric name must be flagged; a
+// documented name and an audited lint:allow(metric-docs) line must pass.
+// The HCSCHED_METRIC_* macros are self-guarding, so trace-guard stays
+// silent here.
+#include "obs/metrics.hpp"
+
+namespace fixture {
+
+void sites() {
+  HCSCHED_METRIC_COUNT("hcsched_undocumented_total", "Not in the docs", 1);
+  HCSCHED_METRIC_COUNT("hcsched_documented_total", "In the docs", 1);
+  // lint:allow(metric-docs)
+  HCSCHED_METRIC_OBSERVE("hcsched_audited_ns", "Suppressed by audit", 7);
+}
+
+}  // namespace fixture

@@ -16,10 +16,13 @@
 //                       suite, so a new kernel file cannot land without
 //                       reference-equivalence coverage.
 //   trace-guard         raw observability calls (obs::counters::add,
-//                       obs::Tracer::emit, histogram feeds) outside src/obs/
-//                       sit inside an #if HCSCHED_TRACE region or use the
-//                       self-guarding HCSCHED_COUNT/HCSCHED_TRACE_EVENT
-//                       macros, preserving the -DHCSCHED_TRACE=0 kill switch.
+//                       obs::Tracer::emit, histogram feeds, obs::ScopedSpan
+//                       construction, metrics registry accessors) outside
+//                       src/obs/ sit inside an #if HCSCHED_TRACE region or
+//                       use the self-guarding HCSCHED_COUNT /
+//                       HCSCHED_TRACE_EVENT / HCSCHED_SPAN /
+//                       HCSCHED_METRIC_* macros, preserving the
+//                       -DHCSCHED_TRACE=0 kill switch.
 //   test-registration   every tests/test_*.cpp is listed in
 //                       tests/CMakeLists.txt (an unlisted test silently
 //                       never runs).
@@ -47,12 +50,18 @@
 //                       GUARDED_BY/PT_GUARDED_BY with that mutex's name —
 //                       an unused capability is either dead weight or an
 //                       unannotated invariant.
+//   metric-docs         every metric name registered from src/ with a
+//                       string literal (metrics::counter/gauge/histogram or
+//                       an HCSCHED_METRIC_* macro) appears in
+//                       docs/OBSERVABILITY.md — an undocumented metric is
+//                       invisible to whoever reads the stats surface.
 //
 // A file may opt out of one rule with a comment anywhere in the file:
 //     // hcsched-lint: allow(<rule-id>)
-// The three src/-wide rules above additionally accept a line-level escape on
+// The src/-wide rules above additionally accept a line-level escape on
 // the flagged line or the line directly above it:
-//     // lint:allow(memory-order | nondeterminism | lock-annotation)
+//     // lint:allow(memory-order | nondeterminism | lock-annotation |
+//                   metric-docs)
 //
 // Usage: hcsched_lint --root <repo-or-fixture-root> [--verbose]
 // Exit code: 0 when clean, 1 on violations, 2 on usage/IO errors.
@@ -260,6 +269,8 @@ void check_trace_guard(const std::vector<SourceFile>& files,
       "obs::Tracer::emit(",       "Tracer::emit(",
       "record_heuristic_call(",   "record_queue_depth(",
       "pool_wait_histogram(",     "pool_run_histogram(",
+      "obs::ScopedSpan",          "metrics::counter(",
+      "metrics::gauge(",          "metrics::histogram(",
   };
   for (const SourceFile& f : files) {
     if (!starts_with(f.relative, "src/")) continue;
@@ -545,6 +556,55 @@ void check_lock_annotation_coverage(const std::vector<SourceFile>& files,
   }
 }
 
+void check_metric_docs(const fs::path& root,
+                       const std::vector<SourceFile>& files,
+                       std::vector<Violation>& out) {
+  // Registration entry points whose first argument is the metric name.
+  // Only literal names are checked: a site passing a variable (e.g. the
+  // macro bodies in obs/metrics.hpp forwarding `(name)`) is skipped, since
+  // its literal is checked where the macro is invoked.
+  constexpr std::string_view kSites[] = {
+      "HCSCHED_METRIC_COUNT(",     "HCSCHED_METRIC_GAUGE_SET(",
+      "HCSCHED_METRIC_OBSERVE(",   "metrics::counter(",
+      "metrics::gauge(",           "metrics::histogram(",
+  };
+  std::string docs_text;
+  {
+    std::ifstream in(root / "docs" / "OBSERVABILITY.md");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    docs_text = buffer.str();  // empty when the docs file is absent
+  }
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.relative, "src/")) continue;
+    if (file_allows(f, "metric-docs")) continue;
+    for (std::size_t i = 0; i < f.lines.size(); ++i) {
+      const std::string& line = f.lines[i];
+      if (starts_with(trim_left(line), "//")) continue;
+      for (const std::string_view site : kSites) {
+        const std::size_t pos = line.find(site);
+        if (pos == std::string::npos) continue;
+        std::string_view after =
+            trim_left(std::string_view(line).substr(pos + site.size()));
+        if (after.empty() || after.front() != '"') continue;  // non-literal
+        after.remove_prefix(1);
+        const std::size_t close = after.find('"');
+        if (close == std::string_view::npos || close == 0) continue;
+        const std::string name(after.substr(0, close));
+        if (docs_text.find(name) != std::string::npos) continue;
+        if (line_allows(f, i, "metric-docs")) continue;
+        out.push_back(Violation{
+            f.relative, i + 1, "metric-docs",
+            "metric '" + name +
+                "' is not documented in docs/OBSERVABILITY.md — add it to "
+                "the metrics table (or mark the audited line "
+                "'// lint:allow(metric-docs)')"});
+        break;  // one finding per line
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -587,6 +647,7 @@ int main(int argc, char** argv) {
   check_explicit_memory_order(files, violations);
   check_no_nondeterminism_in_core(files, violations);
   check_lock_annotation_coverage(files, violations);
+  check_metric_docs(root, files, violations);
 
   std::sort(violations.begin(), violations.end(),
             [](const Violation& a, const Violation& b) {
