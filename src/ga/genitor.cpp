@@ -4,6 +4,7 @@
 
 #include "core/cancel.hpp"
 #include "ga/operators.hpp"
+#include "ga/population.hpp"
 #include "heuristics/minmin.hpp"
 #include "obs/counters.hpp"
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/cancel.hpp"
+#include "ga/chromosome.hpp"
 #include "ga/operators.hpp"
 #include "heuristics/minmin.hpp"
 

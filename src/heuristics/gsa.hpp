@@ -9,7 +9,6 @@
 // monotonicity property under seeding.
 #pragma once
 
-#include "ga/chromosome.hpp"
 #include "heuristics/heuristic.hpp"
 
 namespace hcsched::heuristics {

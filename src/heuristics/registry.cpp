@@ -13,6 +13,7 @@
 #include "heuristics/minmin.hpp"
 #include "heuristics/olb.hpp"
 #include "heuristics/sa.hpp"
+#include "heuristics/seeded.hpp"
 #include "heuristics/segmented.hpp"
 #include "heuristics/sufferage.hpp"
 #include "heuristics/astar.hpp"
@@ -91,6 +92,14 @@ std::vector<std::unique_ptr<Heuristic>> extended_heuristics() {
     out.push_back(make_heuristic(name));
   }
   return out;
+}
+
+// Lives here rather than in seeded.cpp: the factory resolves the inner
+// heuristic through the registry, and only the registry layer may depend
+// back on concrete heuristics (the layering DAG forbids
+// heuristics -> heuristics/registry edges).
+std::unique_ptr<Heuristic> make_seeded(std::string_view inner_name) {
+  return std::make_unique<Seeded>(make_heuristic(inner_name));
 }
 
 std::vector<std::string> known_heuristic_names() {

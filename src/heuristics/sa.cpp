@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/cancel.hpp"
+#include "ga/chromosome.hpp"
 #include "ga/operators.hpp"
 #include "heuristics/minmin.hpp"
 

@@ -12,7 +12,6 @@
 // instance is deterministic run-to-run but not tie-breaker-driven.
 #pragma once
 
-#include "ga/chromosome.hpp"
 #include "heuristics/heuristic.hpp"
 
 namespace hcsched::heuristics {

@@ -4,7 +4,6 @@
 #include <utility>
 
 #include "core/check.hpp"
-#include "heuristics/registry.hpp"
 
 namespace hcsched::heuristics {
 
@@ -35,10 +34,6 @@ Schedule Seeded::do_map_seeded(const Problem& problem, TieBreaker& ties,
                     "seeded result makespan ", out.makespan(),
                     " exceeds incumbent ", seed->makespan());
   return out;
-}
-
-std::unique_ptr<Heuristic> make_seeded(std::string_view inner_name) {
-  return std::make_unique<Seeded>(make_heuristic(inner_name));
 }
 
 }  // namespace hcsched::heuristics

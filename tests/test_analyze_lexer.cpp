@@ -1,0 +1,179 @@
+// Golden-pin tests for the analyzer's C++ lexer (tools/analyze/lexer.hpp):
+// the lexical shapes that defeated the old regex linter. Each test pins the
+// exact (kind, text, line) sequence so a lexer regression shows up as a
+// readable token diff, not as a silently mis-fired lint rule.
+#include "analyze/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using analyze::Tok;
+using analyze::Token;
+using analyze::lex;
+
+std::string kind_name(Tok k) {
+  switch (k) {
+    case Tok::Identifier: return "ident";
+    case Tok::Number: return "number";
+    case Tok::String: return "string";
+    case Tok::Char: return "char";
+    case Tok::Punct: return "punct";
+    case Tok::HeaderName: return "header";
+    case Tok::Directive: return "directive";
+    case Tok::Comment: return "comment";
+  }
+  return "?";
+}
+
+// Render a token stream as "kind@line:text" lines — the golden format.
+std::string render(const std::vector<Token>& toks) {
+  std::string out;
+  for (const Token& t : toks) {
+    out += kind_name(t.kind);
+    out += '@';
+    out += std::to_string(t.line);
+    out += ':';
+    out += t.text;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(AnalyzeLexer, RawStringCustomDelimiter) {
+  // The body of a raw string is taken verbatim: the ")(" inside does not
+  // close it, only the ")xy\"" sequence matching the custom delimiter does.
+  const auto toks = lex("auto s = R\"xy(a)(\"b)xy\";\n");
+  EXPECT_EQ(render(toks),
+            "ident@1:auto\n"
+            "ident@1:s\n"
+            "punct@1:=\n"
+            "string@1:R\"xy(a)(\"b)xy\"\n"
+            "punct@1:;\n");
+}
+
+TEST(AnalyzeLexer, RawStringBodyIsNotSpliced) {
+  // A backslash-newline inside a raw string body is content, not a line
+  // continuation ([lex.phases]: splicing is reverted inside raw strings).
+  const auto toks = lex("auto s = R\"(ab\\\ncd)\";\nint z;\n");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_EQ(toks[3].kind, Tok::String);
+  EXPECT_EQ(toks[3].text, "R\"(ab\\\ncd)\"");
+  EXPECT_EQ(toks[3].line, 1u);
+  EXPECT_EQ(toks[3].end_line, 2u);
+  // The declaration after the raw string lands on physical line 3.
+  EXPECT_EQ(toks[5].text, "int");
+  EXPECT_EQ(toks[5].line, 3u);
+}
+
+TEST(AnalyzeLexer, DigitSeparators) {
+  // pp-numbers swallow digit separators, hex, and exponent suffixes whole.
+  const auto toks = lex("auto n = 1'000'000 + 0xFF'FFp-3f + 1.5e+10;\n");
+  EXPECT_EQ(render(toks),
+            "ident@1:auto\n"
+            "ident@1:n\n"
+            "punct@1:=\n"
+            "number@1:1'000'000\n"
+            "punct@1:+\n"
+            "number@1:0xFF'FFp-3f\n"
+            "punct@1:+\n"
+            "number@1:1.5e+10\n"
+            "punct@1:;\n");
+}
+
+TEST(AnalyzeLexer, BlockCommentsDoNotNest) {
+  // C++ block comments do not nest: the first "*/" ends the comment, so the
+  // trailing "*/" lexes as punctuation ("*" then "/").
+  const auto toks = lex("/* outer /* inner */ int x; /* tail */\n");
+  EXPECT_EQ(render(toks),
+            "comment@1:/* outer /* inner */\n"
+            "ident@1:int\n"
+            "ident@1:x\n"
+            "punct@1:;\n"
+            "comment@1:/* tail */\n");
+}
+
+TEST(AnalyzeLexer, LineContinuationInsideStringLiteral) {
+  // A backslash-newline inside an ordinary string literal splices the two
+  // physical lines into one logical literal; token text holds the spliced
+  // form while line/end_line keep the physical extent.
+  const auto toks = lex("const char* s = \"ab\\\ncd\";\nint after;\n");
+  ASSERT_EQ(toks.size(), 10u);
+  EXPECT_EQ(toks[5].kind, Tok::String);
+  EXPECT_EQ(toks[5].text, "\"abcd\"");
+  EXPECT_EQ(toks[5].line, 1u);
+  EXPECT_EQ(toks[5].end_line, 2u);
+  EXPECT_EQ(toks[7].text, "int");
+  EXPECT_EQ(toks[7].line, 3u);
+}
+
+TEST(AnalyzeLexer, LineContinuationInsideLineComment) {
+  // A // comment that ends in a backslash swallows the next physical line.
+  const auto toks = lex("// part one \\\npart two\nint x;\n");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::Comment);
+  EXPECT_EQ(toks[0].text, "// part one part two");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1].text, "int");
+  EXPECT_EQ(toks[1].line, 3u);
+}
+
+TEST(AnalyzeLexer, CrlfAndLoneCrNewlines) {
+  // CRLF and lone-CR line endings count lines exactly like LF and never
+  // leak '\r' into token text.
+  const auto toks = lex("int a;\r\nint b;\rint c;\n");
+  EXPECT_EQ(render(toks),
+            "ident@1:int\n"
+            "ident@1:a\n"
+            "punct@1:;\n"
+            "ident@2:int\n"
+            "ident@2:b\n"
+            "punct@2:;\n"
+            "ident@3:int\n"
+            "ident@3:c\n"
+            "punct@3:;\n");
+}
+
+TEST(AnalyzeLexer, IncludeHeaderNameToken) {
+  // Directive intro is normalized ("#  include" -> "#include") and both
+  // include operand spellings lex as a single HeaderName token.
+  const auto toks = lex("#  include <vector>\n#include \"sched/tie.hpp\"\n");
+  EXPECT_EQ(render(toks),
+            "directive@1:#include\n"
+            "header@1:<vector>\n"
+            "directive@2:#include\n"
+            "header@2:\"sched/tie.hpp\"\n");
+}
+
+TEST(AnalyzeLexer, MaximalMunchPunctuation) {
+  const auto toks = lex("a<=>b; x<<=1; p->*q;\n");
+  EXPECT_EQ(render(toks),
+            "ident@1:a\n"
+            "punct@1:<=>\n"
+            "ident@1:b\n"
+            "punct@1:;\n"
+            "ident@1:x\n"
+            "punct@1:<<=\n"
+            "number@1:1\n"
+            "punct@1:;\n"
+            "ident@1:p\n"
+            "punct@1:->*\n"
+            "ident@1:q\n"
+            "punct@1:;\n");
+}
+
+TEST(AnalyzeLexer, SplicedIdentifierAcrossLines) {
+  // Phase-2 splicing happens before tokenization, so an identifier split by
+  // a backslash-newline is one token anchored at its first character.
+  const auto toks = lex("int spli\\\nced = 0;\n");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[1].kind, Tok::Identifier);
+  EXPECT_EQ(toks[1].text, "spliced");
+  EXPECT_EQ(toks[1].line, 1u);
+  EXPECT_EQ(toks[1].end_line, 2u);
+}
+
+}  // namespace

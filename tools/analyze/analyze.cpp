@@ -1,0 +1,77 @@
+// hcsched_analyze — token-aware static analysis for the hcsched repo
+// (dependency-free, ctest-registered). Supersedes the regex linter
+// hcsched_lint: same conventions, real lexing.
+//
+// Rules (docs/STATIC_ANALYSIS.md has the full catalog and the layering
+// component table):
+//
+//   ported from hcsched_lint, now string/comment-aware:
+//     heuristic-registry, fastpath-differential, trace-guard,
+//     test-registration, include-hygiene, explicit-memory-order,
+//     no-nondeterminism-in-core, lock-annotation-coverage, metric-docs
+//   include graph:
+//     layering, include-cycle, unused-include
+//   token-level:
+//     range-for-temporary, narrowing-in-kernel, catch-by-value
+//
+// Escapes (comments only — an allow marker inside a string literal never
+// suppresses anything):
+//     // hcsched-lint: allow(<rule-id>)          whole file, one rule
+//     // lint:allow(<token>)                     flagged line or line above
+//
+// Usage:
+//   hcsched_analyze --root <dir> [--format text|sarif] [--out FILE]
+//                   [--sarif-out FILE] [--baseline FILE]
+//                   [--write-baseline FILE] [--cache FILE] [--verbose]
+//
+// Exit code: 0 clean, 1 findings remain after baseline subtraction,
+// 2 usage/IO/config errors.
+#include <iostream>
+#include <string_view>
+
+#include "analyze/engine.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: hcsched_analyze --root <dir> [--format text|sarif]\n"
+         "                       [--out FILE] [--sarif-out FILE]\n"
+         "                       [--baseline FILE] [--write-baseline FILE]\n"
+         "                       [--cache FILE] [--verbose]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  analyze::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--format" && i + 1 < argc) {
+      opts.format = argv[++i];
+      if (opts.format != "text" && opts.format != "sarif") return usage();
+    } else if (arg == "--out" && i + 1 < argc) {
+      opts.out = argv[++i];
+    } else if (arg == "--sarif-out" && i + 1 < argc) {
+      opts.sarif_out = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opts.baseline = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      opts.write_baseline = argv[++i];
+    } else if (arg == "--cache" && i + 1 < argc) {
+      opts.cache = argv[++i];
+    } else if (arg == "--verbose") {
+      opts.verbose = true;
+    } else {
+      return usage();
+    }
+  }
+  if (opts.root.empty()) {
+    std::cerr << "hcsched_analyze: --root is required\n";
+    return 2;
+  }
+  return analyze::run(opts);
+}

@@ -1,0 +1,404 @@
+#include "analyze/engine.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace fs = std::filesystem;
+
+namespace analyze {
+namespace {
+
+// Bumping this string invalidates every cached summary — do so whenever a
+// rule, the lexer, or the summary layout changes behavior.
+constexpr std::string_view kCacheVersion = "hcsched-analyze-cache-v2";
+
+bool skip_directory(const fs::path& dir) {
+  const std::string name = dir.filename().string();
+  return name == ".git" || name == "fixtures" || name.rfind("build", 0) == 0;
+}
+
+std::string to_relative(const fs::path& path, const fs::path& root) {
+  std::string rel = path.lexically_relative(root).generic_string();
+  return rel.empty() ? path.generic_string() : rel;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// ------------------------------------------------- cache (de)serialization
+
+std::string enc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\r') {
+      static const char* hex = "0123456789abcdef";
+      out += '%';
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += hex[static_cast<unsigned char>(c) & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string dec(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const auto nib = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = nib(s[i + 1]), lo = nib(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+        continue;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+void save_cache(const fs::path& path,
+                const std::vector<FileSummary>& summaries) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return;  // best effort; the cache is an optimization only
+  out << kCacheVersion << "\n";
+  for (const FileSummary& f : summaries) {
+    out << "F " << std::hex << f.hash << std::dec << " " << enc(f.relative)
+        << "\n";
+    for (const std::string& a : f.file_allows) out << "A " << enc(a) << "\n";
+    for (const IncludeInfo& inc : f.includes) {
+      out << "I " << inc.line << " " << (inc.angle ? 1 : 0) << " "
+          << enc(inc.path);
+      for (const std::string& a : inc.allows) out << " " << enc(a);
+      out << "\n";
+    }
+    for (const MetricSite& m : f.metric_sites) {
+      out << "M " << m.line << " " << (m.allowed ? 1 : 0) << " "
+          << enc(m.name) << "\n";
+    }
+    for (const RangeForChain& r : f.range_fors) {
+      out << "R " << r.line << " " << (r.allowed ? 1 : 0) << " "
+          << (r.complex ? 1 : 0);
+      for (const RangeForStep& s : r.steps) {
+        out << " " << s.op << enc(s.name);
+      }
+      out << "\n";
+    }
+    for (const auto& [name, bits] : f.ret_kinds) {
+      out << "T " << bits << " " << enc(name) << "\n";
+    }
+    out << "D";
+    for (const std::string& n : f.declared) out << " " << enc(n);
+    out << "\nN";
+    for (const std::string& n : f.idents) out << " " << enc(n);
+    out << "\nW";
+    for (const std::string& n : f.mentions) out << " " << enc(n);
+    out << "\n";
+    for (const Finding& v : f.findings) {
+      out << "V " << v.line << " " << enc(v.rule) << " " << enc(v.message)
+          << "\n";
+    }
+    out << "E\n";
+  }
+}
+
+std::map<std::string, FileSummary> load_cache(const fs::path& path) {
+  std::map<std::string, FileSummary> cache;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return cache;
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheVersion) return cache;
+  FileSummary cur;
+  bool open = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> f = split_fields(line);
+    const std::string& tag = f[0];
+    if (tag == "F") {
+      if (f.size() < 3) continue;
+      cur = FileSummary{};
+      cur.hash = std::stoull(f[1], nullptr, 16);
+      cur.relative = dec(f[2]);
+      open = true;
+    } else if (!open) {
+      continue;
+    } else if (tag == "A" && f.size() >= 2) {
+      cur.file_allows.insert(dec(f[1]));
+    } else if (tag == "I" && f.size() >= 4) {
+      IncludeInfo inc;
+      inc.line = std::stoul(f[1]);
+      inc.angle = f[2] == "1";
+      inc.path = dec(f[3]);
+      for (std::size_t i = 4; i < f.size(); ++i) {
+        inc.allows.insert(dec(f[i]));
+      }
+      cur.includes.push_back(std::move(inc));
+    } else if (tag == "M" && f.size() >= 4) {
+      cur.metric_sites.push_back(
+          MetricSite{dec(f[3]), std::stoul(f[1]), f[2] == "1"});
+    } else if (tag == "R" && f.size() >= 4) {
+      RangeForChain chain;
+      chain.line = std::stoul(f[1]);
+      chain.allowed = f[2] == "1";
+      chain.complex = f[3] == "1";
+      for (std::size_t i = 4; i < f.size(); ++i) {
+        if (f[i].empty()) continue;
+        chain.steps.push_back(
+            RangeForStep{f[i][0], dec(f[i].substr(1))});
+      }
+      cur.range_fors.push_back(std::move(chain));
+    } else if (tag == "T" && f.size() >= 3) {
+      cur.ret_kinds[dec(f[2])] = std::stoi(f[1]);
+    } else if (tag == "D") {
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        if (!f[i].empty()) cur.declared.insert(dec(f[i]));
+      }
+    } else if (tag == "N") {
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        if (!f[i].empty()) cur.idents.insert(dec(f[i]));
+      }
+    } else if (tag == "W") {
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        if (!f[i].empty()) cur.mentions.insert(dec(f[i]));
+      }
+    } else if (tag == "V" && f.size() >= 4) {
+      cur.findings.push_back(Finding{cur.relative, std::stoul(f[1]),
+                                     dec(f[2]), dec(f[3])});
+    } else if (tag == "E") {
+      cache[cur.relative] = std::move(cur);
+      open = false;
+    }
+  }
+  return cache;
+}
+
+// ------------------------------------------------------- baseline handling
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  static const char* hex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[fp & 0xF];
+    fp >>= 4;
+  }
+  return out;
+}
+
+/// Line-number-independent identity: FNV-1a of rule|file|message plus an
+/// ordinal among identical triples, so baseline entries survive edits that
+/// only shift lines.
+void assign_fingerprints(std::vector<Finding>& findings) {
+  std::map<std::string, int> ordinals;
+  for (Finding& f : findings) {
+    const std::string key = f.rule + "|" + f.file + "|" + f.message;
+    const int ordinal = ordinals[key]++;
+    f.fingerprint = fnv1a64(key + "|" + std::to_string(ordinal));
+  }
+}
+
+std::set<std::string> load_baseline(const fs::path& path, bool* ok) {
+  std::set<std::string> entries;
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    entries.insert(space == std::string::npos ? line
+                                              : line.substr(0, space));
+  }
+  return entries;
+}
+
+bool write_baseline_file(const fs::path& path,
+                         const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "# hcsched_analyze suppression baseline.\n"
+      << "# One entry per accepted finding: <fingerprint> <rule> <file>.\n"
+      << "# Fingerprints ignore line numbers, so entries survive unrelated "
+         "edits.\n"
+      << "# Regenerate with: hcsched_analyze --root . --write-baseline "
+         "<this file>\n";
+  for (const Finding& f : findings) {
+    out << fingerprint_hex(f.fingerprint) << " " << f.rule << " " << f.file
+        << "\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int run(const Options& opts) {
+  std::error_code ec;
+  const fs::path root = fs::canonical(opts.root, ec);
+  if (ec) {
+    std::cerr << "hcsched_analyze: cannot open root: " << ec.message()
+              << "\n";
+    return 2;
+  }
+  std::string table_error;
+  if (!layering_table_valid(&table_error)) {
+    std::cerr << "hcsched_analyze: " << table_error << "\n";
+    return 2;
+  }
+
+  // Collect *.hpp / *.cpp, sorted for deterministic output.
+  std::vector<std::pair<std::string, fs::path>> sources;
+  fs::recursive_directory_iterator it(root), end;
+  for (; it != end; ++it) {
+    if (it->is_directory()) {
+      if (skip_directory(it->path())) it.disable_recursion_pending();
+      continue;
+    }
+    const std::string ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp") continue;
+    sources.emplace_back(to_relative(it->path(), root), it->path());
+  }
+  std::sort(sources.begin(), sources.end());
+
+  std::map<std::string, FileSummary> cache;
+  if (!opts.cache.empty()) cache = load_cache(opts.cache);
+
+  std::vector<FileSummary> summaries;
+  summaries.reserve(sources.size());
+  std::size_t cache_hits = 0;
+  for (const auto& [relative, path] : sources) {
+    const std::string content = read_file(path);
+    const auto cached = cache.find(relative);
+    if (cached != cache.end() && cached->second.hash == fnv1a64(content)) {
+      summaries.push_back(cached->second);
+      ++cache_hits;
+      continue;
+    }
+    summaries.push_back(analyze_file(relative, content));
+  }
+  if (!opts.cache.empty()) save_cache(opts.cache, summaries);
+
+  if (opts.verbose) {
+    std::cout << "hcsched_analyze: scanning " << summaries.size()
+              << " source files under " << root.generic_string() << "\n";
+    if (!opts.cache.empty()) {
+      std::cout << "hcsched_analyze: cache hits " << cache_hits << "/"
+                << summaries.size() << "\n";
+    }
+  }
+
+  std::vector<Finding> findings;
+  for (const FileSummary& f : summaries) {
+    findings.insert(findings.end(), f.findings.begin(), f.findings.end());
+  }
+  const std::vector<Finding> global = run_global_rules(root, summaries);
+  findings.insert(findings.end(), global.begin(), global.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  assign_fingerprints(findings);
+
+  if (!opts.write_baseline.empty() &&
+      !write_baseline_file(opts.write_baseline, findings)) {
+    std::cerr << "hcsched_analyze: cannot write baseline "
+              << opts.write_baseline.generic_string() << "\n";
+    return 2;
+  }
+
+  std::size_t suppressed = 0;
+  if (!opts.baseline.empty()) {
+    bool ok = false;
+    const std::set<std::string> baseline = load_baseline(opts.baseline, &ok);
+    if (!ok) {
+      std::cerr << "hcsched_analyze: cannot read baseline "
+                << opts.baseline.generic_string() << "\n";
+      return 2;
+    }
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+      if (baseline.count(fingerprint_hex(f.fingerprint))) {
+        ++suppressed;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+    findings = std::move(kept);
+  }
+
+  // Primary output stream.
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!opts.out.empty()) {
+    out_file.open(opts.out, std::ios::binary);
+    if (!out_file) {
+      std::cerr << "hcsched_analyze: cannot write "
+                << opts.out.generic_string() << "\n";
+      return 2;
+    }
+    out = &out_file;
+  }
+  if (opts.format == "sarif") {
+    *out << to_sarif(findings);
+  } else {
+    for (const Finding& f : findings) {
+      *out << f.file;
+      if (f.line != 0) *out << ':' << f.line;
+      *out << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    if (findings.empty()) {
+      if (opts.verbose) *out << "hcsched_analyze: clean\n";
+    } else {
+      *out << "hcsched_analyze: " << findings.size() << " finding"
+           << (findings.size() == 1 ? "" : "s") << "\n";
+    }
+    if (suppressed > 0 && opts.verbose) {
+      *out << "hcsched_analyze: " << suppressed
+           << " baseline-suppressed\n";
+    }
+  }
+  if (!opts.sarif_out.empty()) {
+    std::ofstream sarif(opts.sarif_out, std::ios::binary);
+    if (!sarif) {
+      std::cerr << "hcsched_analyze: cannot write "
+                << opts.sarif_out.generic_string() << "\n";
+      return 2;
+    }
+    sarif << to_sarif(findings);
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace analyze

@@ -1,0 +1,32 @@
+// Engine orchestration for hcsched_analyze: source collection, the
+// file-hash-keyed incremental cache, baseline subtraction, and output.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/model.hpp"
+
+namespace analyze {
+
+struct Options {
+  std::filesystem::path root;
+  std::string format = "text";      // "text" | "sarif" (primary stream)
+  std::filesystem::path out;        // primary output file; empty = stdout
+  std::filesystem::path sarif_out;  // extra SARIF copy (any format mode)
+  std::filesystem::path baseline;        // suppression baseline to apply
+  std::filesystem::path write_baseline;  // emit all findings as a baseline
+  std::filesystem::path cache;      // incremental cache file (read+write)
+  bool verbose = false;
+};
+
+/// Render findings as a SARIF 2.1.0 document (deterministic: rules and
+/// results ordered, stable tool version, relative URIs).
+std::string to_sarif(const std::vector<Finding>& findings);
+
+/// Full analysis run. Returns the process exit code: 0 clean, 1 findings
+/// remain after baseline subtraction, 2 usage/IO/config error.
+int run(const Options& opts);
+
+}  // namespace analyze

@@ -1,0 +1,8 @@
+// SARIF golden fixture: exactly one include-hygiene finding (line 4) and
+// one catch-by-value finding (line 7), so the golden stays small and
+// deterministic.
+#include "src/sched/schedule.hpp"
+
+inline void f() {
+  try { } catch (int e) { (void)e; }
+}

@@ -1,0 +1,9 @@
+// Fixture layering escape: the same etc -> sim include as bad_layer.cpp
+// but carrying the audited line-level allow — must stay silent.
+
+// lint:allow(layering)
+#include "sim/online.hpp"
+
+namespace fixture::etc_layer_ok {
+inline int marker() { return 2; }
+}  // namespace fixture::etc_layer_ok

@@ -1,0 +1,10 @@
+// Fixture layering back-edge: the etc layer sits below sim in the DAG, so
+// an etc -> sim include is a violation. The include on line 6 (pinned by
+// the ctest grep) must be flagged; allowed_layer.cpp carries the audited
+// escape for the same edge.
+
+#include "sim/online.hpp"
+
+namespace fixture::etc_layer {
+inline int marker() { return 1; }
+}  // namespace fixture::etc_layer

@@ -1,0 +1,17 @@
+// Fixture narrowing in the ETC layer: re-assignment (not just init) of a
+// float variable from a double expression must be flagged — line 8 is
+// pinned by the ctest grep. The cast and audited forms are silent.
+
+namespace fixture::etc_narrow {
+inline float accumulate(double sample) {
+  float acc = 0.0f;
+  acc = sample;
+  (void)acc;
+  // Re-assignment through an explicit cast is silent:
+  acc = static_cast<float>(sample);
+  // Audited escape (silent):
+  // lint:allow(narrowing)
+  acc = sample;
+  return acc;
+}
+}  // namespace fixture::etc_narrow

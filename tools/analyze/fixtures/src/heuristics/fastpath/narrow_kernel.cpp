@@ -1,0 +1,28 @@
+// Fixture narrowing-in-kernel: line 9 is an implicit double->float init
+// and line 12 an implicit size_t->int one (both pinned by ctest greps);
+// the static_cast and audited forms below must stay silent.
+#include <vector>
+
+namespace fixture::kernel {
+
+inline float half_sum(double lhs, double rhs, const std::vector<int>& v) {
+  float approx = lhs + rhs;
+  double scaled = approx * 2.0;
+  (void)scaled;
+  int count = v.size();
+  (void)count;
+  // Explicit casts document the narrowing (silent):
+  float approx_ok = static_cast<float>(lhs + rhs);
+  int count_ok = static_cast<int>(v.size());
+  (void)count_ok;
+  // Audited escape (silent):
+  // lint:allow(narrowing)
+  float approx_allowed = lhs + rhs;
+  (void)approx_allowed;
+  float literal_ok = 0.5f;
+  double wide = lhs;
+  (void)wide;
+  return approx + approx_ok + approx_allowed + literal_ok;
+}
+
+}  // namespace fixture::kernel

@@ -1,0 +1,46 @@
+// Fixture range-for-temporary (the PR 6 dangling-temporary bug shape).
+//
+// load_doc()/snapshot_json() return by value; items()/at()/as_array()
+// return references into their receiver. A range-for whose range
+// expression is a reference into such a temporary reads freed memory in
+// the loop body — lines 21 and 26 (pinned by the ctest greps) must be
+// flagged; the hoisted/lifetime-extended forms and the audited escape
+// below must stay silent.
+#include <vector>
+
+namespace fixture {
+
+struct Doc {
+  const std::vector<int>& items() const { return data_; }
+  std::vector<int> data_;
+};
+
+Doc load_doc();
+
+int consume() {
+  for (int v : load_doc().items()) {
+    (void)v;
+  }
+  // The PR 6 stats-path shape: a reference chain off a by-value JSON
+  // snapshot (at()/as_array() return references into the temporary).
+  for (const auto& node : snapshot_json().at("roots").as_array()) {
+    (void)node;
+  }
+  // Hoisting the owning value into a local is the fix (silent):
+  const Doc doc = load_doc();
+  for (int v : doc.items()) {
+    (void)v;
+  }
+  // Iterating the temporary itself is lifetime-extended (silent):
+  for (int v : load_doc().data_) {
+    (void)v;
+  }
+  // Audited escape (silent):
+  // lint:allow(range-for-temporary)
+  for (int v : load_doc().items()) {
+    (void)v;
+  }
+  return 0;
+}
+
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Fixture helper for the unused-include pair: declares helper_value().
+#pragma once
+namespace fixture {
+int helper_value();
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture unused direct include: helper_decl.hpp provides helper_value()
+// but nothing in this file uses it — the include on line 5 (pinned by the
+// ctest grep) must be flagged. unused_inc_ok.cpp carries the escape.
+
+#include "report/helper_decl.hpp"
+
+namespace fixture {
+inline int standalone() { return 7; }
+}  // namespace fixture

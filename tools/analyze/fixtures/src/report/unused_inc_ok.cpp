@@ -1,0 +1,9 @@
+// Fixture unused-include escape: the same unused include as unused_inc.cpp
+// but carrying the audited line-level allow — must stay silent.
+
+// lint:allow(unused-include)
+#include "report/helper_decl.hpp"
+
+namespace fixture {
+inline int standalone_ok() { return 8; }
+}  // namespace fixture

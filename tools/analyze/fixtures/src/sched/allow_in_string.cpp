@@ -1,0 +1,20 @@
+// Fixture: allow escapes are comment-position-aware. The marker inside
+// the string literal on line 11 must NOT suppress the missing-memory-order
+// finding on line 12 (the old regex linter matched raw line text, so it
+// did); the genuine trailing comment on line 16 must suppress.
+#include <atomic>
+
+namespace fixture::escapes {
+
+inline int probe(std::atomic<int>& flag) {
+  // A string mentioning the escape is just data — line 12 is flagged:
+  const char* note = "lint:allow(memory-order)";
+  int a = flag.load();
+  (void)note;
+  // A real comment escape suppresses — line 16 is silent:
+
+  int b = flag.load();  // lint:allow(memory-order)
+  return a + b;
+}
+
+}  // namespace fixture::escapes

@@ -1,0 +1,9 @@
+// Fixture include cycle (detect): cyc_a <-> cyc_b. The cycle is reported
+// exactly once, anchored at this lexicographically-first member.
+#pragma once
+#include "sched/cyc_b.hpp"
+namespace fixture {
+struct CycA {
+  CycB* peer = nullptr;
+};
+}  // namespace fixture

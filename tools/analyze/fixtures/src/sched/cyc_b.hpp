@@ -1,0 +1,8 @@
+// Fixture include cycle (detect): the other half of cyc_a <-> cyc_b.
+#pragma once
+#include "sched/cyc_a.hpp"
+namespace fixture {
+struct CycB {
+  CycA* peer = nullptr;
+};
+}  // namespace fixture

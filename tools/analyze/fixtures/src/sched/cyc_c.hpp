@@ -1,0 +1,10 @@
+// Fixture include cycle (allow): cyc_c <-> cyc_d is the same shape as the
+// cyc_a pair but suppressed by the file-level escape — must stay silent.
+// hcsched-lint: allow(include-cycle)
+#pragma once
+#include "sched/cyc_d.hpp"
+namespace fixture {
+struct CycC {
+  CycD* peer = nullptr;
+};
+}  // namespace fixture

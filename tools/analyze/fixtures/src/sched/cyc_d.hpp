@@ -1,0 +1,9 @@
+// Fixture include cycle (allow): the other half of cyc_c <-> cyc_d; the
+// escape on cyc_c suppresses the whole cycle.
+#pragma once
+#include "sched/cyc_c.hpp"
+namespace fixture {
+struct CycD {
+  CycC* peer = nullptr;
+};
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Fixture catch-by-value: a by-value catch (line 9, pinned by the ctest
+// grep) slices and copies on the unwind path; reference catches, the
+// catch-all form, and the audited escape below must stay silent.
+#include <stdexcept>
+
+namespace fixture::catches {
+
+inline int run(int x) {
+  try { } catch (std::runtime_error err) {
+    (void)err;
+  }
+
+  try {
+  } catch (const std::exception& err) {
+    (void)err;
+  }
+  try {
+  } catch (...) {
+  }
+  // Audited escape (silent):
+  // lint:allow(catch-by-value)
+  try { } catch (std::runtime_error err2) { (void)err2; }
+  return x;
+}
+
+}  // namespace fixture::catches

@@ -1,0 +1,4 @@
+// Fixture stub: the include target for the layering fixtures in src/etc/.
+// Declares nothing on purpose, so the unused-include heuristic skips edges
+// into it and the layering rule is exercised in isolation.
+#pragma once

@@ -1,0 +1,5 @@
+// Fixture differential suite: names covered_kernel and narrow_kernel so
+// the fastpath-differential rule treats those files as tested.
+//
+// covers: covered_kernel.cpp narrow_kernel.cpp
+int main() { return 0; }

@@ -1,0 +1,374 @@
+#include "analyze/lexer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace analyze {
+namespace {
+
+/// Cursor over the source with transparent backslash-newline splicing and
+/// CRLF/CR normalization. `get()`/`peek()` present the spliced character
+/// stream ([lex.phases] phases 1–2) while `line`/`col` track the physical
+/// position, so tokens can report where they really sit in the file.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool eof() const { return skip_splices(pos_) >= src_.size(); }
+
+  /// Peek the idx-th spliced character ahead (0 = next).
+  char peek(std::size_t idx = 0) const {
+    std::size_t p = skip_splices(pos_);
+    for (std::size_t i = 0; i < idx; ++i) {
+      if (p >= src_.size()) return '\0';
+      p = skip_splices(advance_raw(p));
+    }
+    return p < src_.size() ? normalized(p) : '\0';
+  }
+
+  char get() {
+    sync_to_next();  // consume pending splices, tracking line/col
+    const char c = normalized(pos_);
+    bump_position(pos_);
+    pos_ = advance_raw(pos_);
+    return c;
+  }
+
+  // Raw (unspliced) access for raw-string bodies, which are exempt from
+  // phase-2 splicing: a backslash-newline inside R"(...)" is two real
+  // characters.
+  bool raw_eof() const { return pos_ >= src_.size(); }
+  char raw_peek(std::size_t idx = 0) const {
+    std::size_t p = pos_;
+    for (std::size_t i = 0; i < idx; ++i) {
+      if (p >= src_.size()) return '\0';
+      p = advance_raw(p);
+    }
+    return p < src_.size() ? normalized(p) : '\0';
+  }
+  char raw_get() {
+    const char c = normalized(pos_);
+    bump_position(pos_);
+    pos_ = advance_raw(pos_);
+    return c;
+  }
+
+  std::size_t line() const { return line_; }
+  std::size_t col() const { return col_; }
+
+  /// Physical position of the next spliced character (where the next token
+  /// would start). Splices between here and that character advance the
+  /// physical position without producing characters.
+  void sync_to_next() {
+    while (pos_ < src_.size() && is_splice(pos_)) {
+      // consume the backslash and the newline it hides
+      bump_position(pos_);
+      pos_ = advance_raw(pos_);  // backslash
+      bump_position(pos_);
+      pos_ = advance_raw(pos_);  // newline
+    }
+  }
+
+ private:
+  bool is_splice(std::size_t p) const {
+    if (p >= src_.size() || src_[p] != '\\') return false;
+    const std::size_t n = p + 1;
+    if (n >= src_.size()) return false;
+    return src_[n] == '\n' || src_[n] == '\r';
+  }
+
+  std::size_t skip_splices(std::size_t p) const {
+    while (p < src_.size() && is_splice(p)) {
+      p = advance_raw(p);  // backslash
+      p = advance_raw(p);  // newline (CRLF advances both bytes)
+    }
+    return p;
+  }
+
+  /// One raw character forward; a CRLF pair counts as one newline.
+  std::size_t advance_raw(std::size_t p) const {
+    if (p >= src_.size()) return p;
+    if (src_[p] == '\r' && p + 1 < src_.size() && src_[p + 1] == '\n') {
+      return p + 2;
+    }
+    return p + 1;
+  }
+
+  char normalized(std::size_t p) const {
+    return src_[p] == '\r' ? '\n' : src_[p];
+  }
+
+  void bump_position(std::size_t p) {
+    if (normalized(p) == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// Multi-character punctuators, longest first for maximal munch.
+constexpr std::array<std::string_view, 25> kPuncts = {
+    "<<=", ">>=", "->*", "...", "<=>", "::", "->", ".*", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  "##",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : cur_(src) {}
+
+  std::vector<Token> run() {
+    while (!cur_.eof()) {
+      cur_.sync_to_next();
+      const char c = cur_.peek();
+      if (c == '\n') {
+        at_line_start_ = true;
+        in_directive_ = false;
+        cur_.get();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\f' || c == '\v') {
+        cur_.get();
+        continue;
+      }
+      start_line_ = cur_.line();
+      start_col_ = cur_.col();
+      if (c == '/' && cur_.peek(1) == '/') {
+        lex_line_comment();
+      } else if (c == '/' && cur_.peek(1) == '*') {
+        lex_block_comment();
+      } else if (at_line_start_ && c == '#') {
+        lex_directive_intro();
+      } else if (in_directive_ && expect_header_name_ &&
+                 (c == '"' || c == '<')) {
+        lex_header_name(c);
+      } else if (is_raw_string_ahead()) {
+        lex_raw_string();
+      } else if (is_string_prefix_ahead()) {
+        lex_string_or_char();
+      } else if (c == '"') {
+        lex_quoted('"', Tok::String);
+      } else if (c == '\'') {
+        lex_quoted('\'', Tok::Char);
+      } else if (is_ident_start(c)) {
+        lex_identifier();
+      } else if (is_digit(c) || (c == '.' && is_digit(cur_.peek(1)))) {
+        lex_number();
+      } else {
+        lex_punct();
+      }
+      if (c != '#') at_line_start_ = false;
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  void emit(Tok kind, std::string text) {
+    tokens_.push_back(Token{kind, std::move(text), start_line_, start_col_,
+                            cur_.line(), cur_.col()});
+  }
+
+  void lex_line_comment() {
+    std::string text;
+    // A spliced newline continues the comment onto the next physical line
+    // (real C++ behavior); the spliced stream handles that for free.
+    while (!cur_.eof() && cur_.peek() != '\n') text += cur_.get();
+    emit(Tok::Comment, std::move(text));
+  }
+
+  void lex_block_comment() {
+    std::string text;
+    text += cur_.get();  // '/'
+    text += cur_.get();  // '*'
+    // Block comments do not nest: the first */ ends the comment even after
+    // an interior /* (the lexer golden tests pin this).
+    while (!cur_.eof()) {
+      const char c = cur_.get();
+      text += c;
+      if (c == '*' && cur_.peek() == '/') {
+        text += cur_.get();
+        break;
+      }
+    }
+    emit(Tok::Comment, std::move(text));
+  }
+
+  void lex_directive_intro() {
+    std::string text;
+    text += cur_.get();  // '#'
+    while (!cur_.eof() &&
+           (cur_.peek() == ' ' || cur_.peek() == '\t')) {
+      cur_.get();  // `#  include` is legal; normalize to "#include"
+    }
+    while (!cur_.eof() && is_ident_char(cur_.peek())) text += cur_.get();
+    in_directive_ = true;
+    expect_header_name_ = (text == "#include" || text == "#include_next");
+    emit(Tok::Directive, std::move(text));
+  }
+
+  void lex_header_name(char open) {
+    const char close = open == '<' ? '>' : '"';
+    std::string text;
+    text += cur_.get();
+    while (!cur_.eof() && cur_.peek() != '\n') {
+      const char c = cur_.get();
+      text += c;
+      if (c == close) break;
+    }
+    expect_header_name_ = false;
+    emit(Tok::HeaderName, std::move(text));
+  }
+
+  /// R"..., optionally behind an encoding prefix (u8R", LR", ...).
+  bool is_raw_string_ahead() const {
+    std::size_t i = encoding_prefix_length();
+    return cur_.peek(i) == 'R' && cur_.peek(i + 1) == '"';
+  }
+
+  /// "..." or '...' behind an encoding prefix (L"x", u8'c', ...).
+  bool is_string_prefix_ahead() const {
+    const std::size_t i = encoding_prefix_length();
+    if (i == 0) return false;
+    return cur_.peek(i) == '"' || cur_.peek(i) == '\'';
+  }
+
+  std::size_t encoding_prefix_length() const {
+    const char c = cur_.peek();
+    if (c == 'u' && cur_.peek(1) == '8') return 2;
+    if (c == 'u' || c == 'U' || c == 'L') return 1;
+    return 0;
+  }
+
+  void lex_raw_string() {
+    std::string text;
+    while (cur_.peek() != '"') text += cur_.get();  // prefix + 'R'
+    text += cur_.get();                             // '"'
+    std::string delim;
+    while (!cur_.raw_eof() && cur_.raw_peek() != '(') {
+      delim += cur_.raw_get();
+    }
+    text += delim;
+    if (!cur_.raw_eof()) text += cur_.raw_get();  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (!cur_.raw_eof()) {
+      body += cur_.raw_get();
+      if (body.size() >= closer.size() &&
+          body.compare(body.size() - closer.size(), closer.size(), closer) ==
+              0) {
+        break;
+      }
+    }
+    text += body;
+    emit(Tok::String, std::move(text));
+  }
+
+  void lex_string_or_char() {
+    std::string prefix;
+    for (std::size_t i = encoding_prefix_length(); i > 0; --i) {
+      prefix += cur_.get();
+    }
+    const char quote = cur_.peek();
+    lex_quoted(quote, quote == '"' ? Tok::String : Tok::Char,
+               std::move(prefix));
+  }
+
+  void lex_quoted(char quote, Tok kind, std::string prefix = {}) {
+    std::string text = std::move(prefix);
+    text += cur_.get();  // opening quote
+    while (!cur_.eof() && cur_.peek() != '\n') {
+      const char c = cur_.get();
+      text += c;
+      if (c == '\\' && !cur_.eof()) {
+        text += cur_.get();  // escaped char, including \" and \'
+        continue;
+      }
+      if (c == quote) break;
+    }
+    emit(kind, std::move(text));
+  }
+
+  void lex_identifier() {
+    std::string text;
+    while (!cur_.eof() && is_ident_char(cur_.peek())) text += cur_.get();
+    emit(Tok::Identifier, std::move(text));
+  }
+
+  void lex_number() {
+    // pp-number: digits, identifier chars, ' separators between digit-ish
+    // characters, and sign characters directly after an exponent marker.
+    std::string text;
+    text += cur_.get();
+    while (!cur_.eof()) {
+      const char c = cur_.peek();
+      if (is_ident_char(c) || c == '.') {
+        text += cur_.get();
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (cur_.peek() == '+' || cur_.peek() == '-')) {
+          text += cur_.get();
+        }
+        continue;
+      }
+      if (c == '\'' && is_ident_char(cur_.peek(1))) {
+        text += cur_.get();
+        continue;
+      }
+      break;
+    }
+    emit(Tok::Number, std::move(text));
+  }
+
+  void lex_punct() {
+    for (const std::string_view p : kPuncts) {
+      bool match = true;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (cur_.peek(i) != p[i]) {
+          match = false;
+          break;
+        }
+      }
+      // `...` must win over `..`+`.`; `<=>` over `<=`; the table is sorted
+      // longest-first so the first hit is the maximal munch.
+      if (match) {
+        std::string text;
+        for (std::size_t i = 0; i < p.size(); ++i) text += cur_.get();
+        emit(Tok::Punct, std::move(text));
+        return;
+      }
+    }
+    std::string text(1, cur_.get());
+    emit(Tok::Punct, std::move(text));
+  }
+
+  Cursor cur_;
+  std::vector<Token> tokens_;
+  bool at_line_start_ = true;
+  bool in_directive_ = false;
+  bool expect_header_name_ = false;
+  std::size_t start_line_ = 1;
+  std::size_t start_col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace analyze

@@ -1,0 +1,63 @@
+// Token-aware C++ lexer for hcsched_analyze (dependency-free).
+//
+// Produces the token stream every analysis rule shares, so no rule ever
+// greps raw text through the middle of a string literal or comment again.
+// The lexer understands the lexical shapes that defeated the regex linter:
+//
+//   * line comments and (non-nesting) block comments, emitted as Comment
+//     tokens so suppression escapes can be required to sit in comments;
+//   * string/char literals with escapes, encoding prefixes (L, u, U, u8),
+//     and raw strings R"delim(...)delim" with custom delimiters — raw
+//     string bodies are read unspliced, per [lex.phases];
+//   * backslash-newline line continuations anywhere outside raw strings,
+//     including inside string literals and // comments;
+//   * CRLF and lone-CR newlines (normalized away from token text);
+//   * pp-numbers with digit separators (1'000'000, 0xFF'FFp-3f);
+//   * preprocessor directives: `#include` / `#define` / `#if...` lines are
+//     introduced by a Directive token ("#include"), and the include target
+//     lexes as a single HeaderName token ("path" or <path>);
+//   * maximal-munch multi-character punctuation (::, ->, <=>, <<=, ...).
+//
+// Every token carries the physical (line, column) of its first character
+// and the one-past-end position, so callers can map tokens back onto the
+// original lines even across splices — the engine uses that to build
+// comment/string-scrubbed "code lines" for the ported line-oriented rules.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace analyze {
+
+enum class Tok {
+  Identifier,  // identifiers and keywords (rules distinguish by text)
+  Number,      // pp-number: integers, floats, digit separators, suffixes
+  String,      // "..."-family including encoding prefixes and raw strings
+  Char,        // '...'-family character literals
+  Punct,       // operators and punctuators, maximal munch
+  HeaderName,  // the "path" or <path> operand of an #include directive
+  Directive,   // '#' plus the directive name, e.g. "#include", "#pragma"
+  Comment,     // // and /* */ comments, full text including delimiters
+};
+
+struct Token {
+  Tok kind;
+  std::string text;       // spliced text (line continuations removed)
+  std::size_t line;       // 1-based physical line of the first character
+  std::size_t col;        // 1-based physical column of the first character
+  std::size_t end_line;   // physical line of the last character
+  std::size_t end_col;    // 1-based column one past the last character
+};
+
+/// Lex an entire translation unit. Never fails: unterminated literals or
+/// comments produce a token running to end-of-input, and any byte that fits
+/// no rule becomes a single-character Punct token.
+std::vector<Token> lex(std::string_view source);
+
+/// True for tokens that are comments (suppression escapes may only live
+/// here — an allow-marker inside a string literal must not suppress).
+inline bool is_comment(const Token& t) { return t.kind == Tok::Comment; }
+
+}  // namespace analyze

@@ -1,669 +1,36 @@
-// hcsched_lint — repo-convention linter (dependency-free, ctest-registered).
+// hcsched_lint — compatibility shim over hcsched_analyze.
 //
-// Enforces project invariants the compiler cannot see:
+// The regex scanner this file used to contain is gone: all nine of its
+// rules now run on the token-aware engine in tools/analyze (plus the
+// include-graph and lifetime/narrowing rules that engine adds). This shim
+// keeps the old entry point and flags alive for scripts and muscle memory:
 //
-//   heuristic-registry  every heuristic header directly under
-//                       src/heuristics/ is included by
-//                       src/heuristics/registry.cpp, so new heuristics
-//                       cannot silently miss name-based lookup
-//                       (heuristic.hpp and registry.hpp are the framework
-//                       itself and exempt; subdirectories such as
-//                       src/heuristics/fastpath/ hold support kernels, not
-//                       registrable heuristics, and are out of scope).
-//   fastpath-differential
-//                       every source file under src/heuristics/fastpath/ is
-//                       named in a tests/test_fastpath*.cpp differential
-//                       suite, so a new kernel file cannot land without
-//                       reference-equivalence coverage.
-//   trace-guard         raw observability calls (obs::counters::add,
-//                       obs::Tracer::emit, histogram feeds, obs::ScopedSpan
-//                       construction, metrics registry accessors) outside
-//                       src/obs/ sit inside an #if HCSCHED_TRACE region or
-//                       use the self-guarding HCSCHED_COUNT /
-//                       HCSCHED_TRACE_EVENT / HCSCHED_SPAN /
-//                       HCSCHED_METRIC_* macros, preserving the
-//                       -DHCSCHED_TRACE=0 kill switch.
-//   test-registration   every tests/test_*.cpp is listed in
-//                       tests/CMakeLists.txt (an unlisted test silently
-//                       never runs).
-//   include-hygiene     no `#include "src/...)` and no `#include "../...`
-//                       anywhere — all project includes are relative to
-//                       src/ (the exported include root). Applies at every
-//                       nesting depth (src/sim/fault/, fastpath/, ...).
-//   explicit-memory-order
-//                       every std::atomic operation in src/ names a
-//                       std::memory_order argument — the default seq_cst
-//                       either hides a missing ordering decision or buys
-//                       fences nobody reasoned about (docs/STATIC_ANALYSIS.md
-//                       records the per-site justifications).
-//   no-nondeterminism-in-core
-//                       the deterministic layers (src/core/, src/heuristics/,
-//                       src/etc/, src/ga/) must not reach for ambient
-//                       entropy or iteration-order-unstable containers:
-//                       rand()/srand()/std::time(), std::random_device,
-//                       std::chrono::system_clock, std::unordered_map/set
-//                       are banned there. Seeded randomness goes through
-//                       core/rng.hpp; wall-clock stays in the sim/CLI layer.
-//   lock-annotation-coverage
-//                       every mutex member in src/ (std::mutex or
-//                       core::Mutex) has at least one field annotated
-//                       GUARDED_BY/PT_GUARDED_BY with that mutex's name —
-//                       an unused capability is either dead weight or an
-//                       unannotated invariant.
-//   metric-docs         every metric name registered from src/ with a
-//                       string literal (metrics::counter/gauge/histogram or
-//                       an HCSCHED_METRIC_* macro) appears in
-//                       docs/OBSERVABILITY.md — an undocumented metric is
-//                       invisible to whoever reads the stats surface.
+//   hcsched_lint --root <dir> [--verbose]
 //
-// A file may opt out of one rule with a comment anywhere in the file:
-//     // hcsched-lint: allow(<rule-id>)
-// The src/-wide rules above additionally accept a line-level escape on
-// the flagged line or the line directly above it:
-//     // lint:allow(memory-order | nondeterminism | lock-annotation |
-//                   metric-docs)
-//
-// Usage: hcsched_lint --root <repo-or-fixture-root> [--verbose]
-// Exit code: 0 when clean, 1 on violations, 2 on usage/IO errors.
-//
-// Directories named "build*", ".git", or "fixtures" are skipped, so the
-// linter's own test fixtures never count against the real tree.
-#include <algorithm>
-#include <cstddef>
-#include <filesystem>
-#include <fstream>
+// runs the full analyzer in text mode with the same exit codes as before
+// (0 clean, 1 violations, 2 usage errors). Prefer invoking hcsched_analyze
+// directly for the new surface (--format sarif, --baseline, --cache, ...).
 #include <iostream>
-#include <sstream>
-#include <string>
 #include <string_view>
-#include <tuple>
-#include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Violation {
-  std::string file;   // path relative to the scanned root
-  std::size_t line;   // 1-based; 0 = whole-file finding
-  std::string rule;
-  std::string message;
-};
-
-struct SourceFile {
-  fs::path path;              // absolute
-  std::string relative;       // relative to root, '/'-separated
-  std::vector<std::string> lines;
-};
-
-std::string to_relative(const fs::path& path, const fs::path& root) {
-  std::string rel = path.lexically_relative(root).generic_string();
-  return rel.empty() ? path.generic_string() : rel;
-}
-
-bool skip_directory(const fs::path& dir) {
-  const std::string name = dir.filename().string();
-  return name == ".git" || name == "fixtures" || name.rfind("build", 0) == 0;
-}
-
-std::vector<std::string> read_lines(const fs::path& path) {
-  std::ifstream in(path);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    lines.push_back(line);
-  }
-  return lines;
-}
-
-/// All *.hpp / *.cpp files under root (skipping excluded dirs), sorted by
-/// relative path so output and exit behavior are deterministic.
-std::vector<SourceFile> collect_sources(const fs::path& root) {
-  std::vector<SourceFile> files;
-  if (!fs::exists(root)) return files;
-  fs::recursive_directory_iterator it(root), end;
-  for (; it != end; ++it) {
-    if (it->is_directory()) {
-      if (skip_directory(it->path())) it.disable_recursion_pending();
-      continue;
-    }
-    const std::string ext = it->path().extension().string();
-    if (ext != ".hpp" && ext != ".cpp") continue;
-    files.push_back(SourceFile{it->path(), to_relative(it->path(), root),
-                               read_lines(it->path())});
-  }
-  std::sort(files.begin(), files.end(),
-            [](const SourceFile& a, const SourceFile& b) {
-              return a.relative < b.relative;
-            });
-  return files;
-}
-
-bool file_allows(const SourceFile& file, std::string_view rule) {
-  const std::string needle = "hcsched-lint: allow(" + std::string(rule) + ")";
-  for (const std::string& line : file.lines) {
-    if (line.find(needle) != std::string::npos) return true;
-  }
-  return false;
-}
-
-/// Line-level escape: `// lint:allow(<token>)` on the flagged line or the
-/// line directly above it. Narrower than the file-level hcsched-lint escape
-/// so one audited call site cannot silence the rule for the whole file.
-bool line_allows(const SourceFile& file, std::size_t index,
-                 std::string_view token) {
-  const std::string needle = "lint:allow(" + std::string(token) + ")";
-  if (file.lines[index].find(needle) != std::string::npos) return true;
-  return index > 0 &&
-         file.lines[index - 1].find(needle) != std::string::npos;
-}
-
-std::string_view trim_left(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  return s;
-}
-
-bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.substr(0, prefix.size()) == prefix;
-}
-
-bool is_identifier_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-/// Where `relative` sits with respect to directory `dir`. Shared by the
-/// heuristic-registry and include-hygiene rules so both make the same call
-/// about what counts as "inside a nested subdirectory".
-struct SubdirSplit {
-  bool inside = false;        // relative starts with dir
-  std::string_view below;     // remainder after dir (may contain '/')
-  bool nested = false;        // remainder has another directory level
-};
-
-SubdirSplit split_below(std::string_view relative, std::string_view dir) {
-  SubdirSplit split;
-  if (!starts_with(relative, dir)) return split;
-  split.inside = true;
-  split.below = relative.substr(dir.size());
-  split.nested = split.below.find('/') != std::string_view::npos;
-  return split;
-}
-
-// ------------------------------------------------------------------- rules
-
-void check_heuristic_registry(const std::vector<SourceFile>& files,
-                              std::vector<Violation>& out) {
-  const SourceFile* registry = nullptr;
-  for (const SourceFile& f : files) {
-    if (f.relative == "src/heuristics/registry.cpp") registry = &f;
-  }
-  if (registry == nullptr) return;  // tree has no registry to check against
-  std::string registry_text;
-  for (const std::string& line : registry->lines) {
-    registry_text += line;
-    registry_text += '\n';
-  }
-  for (const SourceFile& f : files) {
-    const SubdirSplit split = split_below(f.relative, "src/heuristics/");
-    if (!split.inside || f.path.extension() != ".hpp") continue;
-    // Only headers directly in src/heuristics/ declare registrable
-    // heuristics; nested subdirectories (e.g. fastpath/) are support code
-    // covered by the fastpath-differential rule — include-hygiene, by
-    // contrast, deliberately descends into them (same split_below helper,
-    // opposite branch).
-    if (split.nested) continue;
-    const std::string stem = f.path.stem().string();
-    if (stem == "heuristic" || stem == "registry") continue;  // framework
-    if (file_allows(f, "heuristic-registry")) continue;
-    const std::string include = "#include \"heuristics/" + stem + ".hpp\"";
-    if (registry_text.find(include) == std::string::npos) {
-      out.push_back(Violation{
-          f.relative, 0, "heuristic-registry",
-          "header is not included by src/heuristics/registry.cpp; register "
-          "the heuristic (or mark the file '// hcsched-lint: "
-          "allow(heuristic-registry)' if it is a wrapper)"});
-    }
-  }
-}
-
-void check_fastpath_differential(const std::vector<SourceFile>& files,
-                                 std::vector<Violation>& out) {
-  // Concatenated text of every differential suite. A kernel file counts as
-  // covered when any tests/test_fastpath*.cpp names its stem (idiomatically
-  // in a leading "// covers: ..." comment, but any mention qualifies).
-  std::string suites_text;
-  for (const SourceFile& f : files) {
-    const std::string name = f.path.filename().string();
-    if (starts_with(f.relative, "tests/") &&
-        name.rfind("test_fastpath", 0) == 0 && f.path.extension() == ".cpp") {
-      for (const std::string& line : f.lines) {
-        suites_text += line;
-        suites_text += '\n';
-      }
-    }
-  }
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "src/heuristics/fastpath/")) continue;
-    if (file_allows(f, "fastpath-differential")) continue;
-    const std::string stem = f.path.stem().string();
-    if (suites_text.find(stem) == std::string::npos) {
-      out.push_back(Violation{
-          f.relative, 0, "fastpath-differential",
-          "kernel file is not named by any tests/test_fastpath*.cpp "
-          "differential suite; add coverage (or mark the file "
-          "'// hcsched-lint: allow(fastpath-differential)' if it is not a "
-          "kernel)"});
-    }
-  }
-}
-
-void check_trace_guard(const std::vector<SourceFile>& files,
-                       std::vector<Violation>& out) {
-  // Raw observability entry points that -DHCSCHED_TRACE=0 must compile out.
-  constexpr std::string_view kRawCalls[] = {
-      "obs::counters::add(",      "counters::add(",
-      "obs::Tracer::emit(",       "Tracer::emit(",
-      "record_heuristic_call(",   "record_queue_depth(",
-      "pool_wait_histogram(",     "pool_run_histogram(",
-      "obs::ScopedSpan",          "metrics::counter(",
-      "metrics::gauge(",          "metrics::histogram(",
-  };
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "src/")) continue;
-    if (starts_with(f.relative, "src/obs/")) continue;  // the implementation
-    if (file_allows(f, "trace-guard")) continue;
-    // Track preprocessor conditional nesting; a line is guarded when any
-    // enclosing conditional mentions HCSCHED_TRACE.
-    std::vector<bool> guard_stack;
-    std::size_t guarded_depth = 0;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      const std::string_view line = trim_left(f.lines[i]);
-      if (starts_with(line, "#if")) {  // #if / #ifdef / #ifndef
-        const bool guards = line.find("HCSCHED_TRACE") != std::string::npos;
-        guard_stack.push_back(guards);
-        if (guards) ++guarded_depth;
-        continue;
-      }
-      if (starts_with(line, "#endif")) {
-        if (!guard_stack.empty()) {
-          if (guard_stack.back()) --guarded_depth;
-          guard_stack.pop_back();
-        }
-        continue;
-      }
-      if (starts_with(line, "//")) continue;  // comment-only line
-      if (guarded_depth > 0) continue;
-      for (const std::string_view call : kRawCalls) {
-        if (f.lines[i].find(call) != std::string::npos) {
-          out.push_back(Violation{
-              f.relative, i + 1, "trace-guard",
-              "raw call '" + std::string(call) +
-                  "...' outside an #if HCSCHED_TRACE region; use "
-                  "HCSCHED_COUNT/HCSCHED_TRACE_EVENT or guard the block"});
-          break;
-        }
-      }
-    }
-  }
-}
-
-void check_test_registration(const fs::path& root,
-                             const std::vector<SourceFile>& files,
-                             std::vector<Violation>& out) {
-  const fs::path cmake_lists = root / "tests" / "CMakeLists.txt";
-  if (!fs::exists(cmake_lists)) return;
-  std::string cmake_text;
-  {
-    std::ifstream in(cmake_lists);
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    cmake_text = buffer.str();
-  }
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "tests/")) continue;
-    const std::string name = f.path.filename().string();
-    if (name.rfind("test_", 0) != 0 || f.path.extension() != ".cpp") continue;
-    if (file_allows(f, "test-registration")) continue;
-    if (cmake_text.find(name) == std::string::npos) {
-      out.push_back(Violation{
-          f.relative, 0, "test-registration",
-          "test file is not listed in tests/CMakeLists.txt and will never "
-          "run"});
-    }
-  }
-}
-
-void check_include_hygiene(const std::vector<SourceFile>& files,
-                           std::vector<Violation>& out) {
-  for (const SourceFile& f : files) {
-    // Unlike heuristic-registry (which uses split_below to stop at the
-    // first nesting level), this rule applies at EVERY depth: a
-    // parent-relative include inside src/sim/fault/ or
-    // src/heuristics/fastpath/ is just as much a violation as one at the
-    // top level, so no subdirectory filter appears here on purpose.
-    if (file_allows(f, "include-hygiene")) continue;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      const std::string_view line = trim_left(f.lines[i]);
-      if (!starts_with(line, "#include")) continue;
-      if (line.find("#include \"src/") != std::string_view::npos) {
-        out.push_back(Violation{
-            f.relative, i + 1, "include-hygiene",
-            "include paths are relative to src/ — drop the 'src/' prefix"});
-      } else if (line.find("#include \"../") != std::string_view::npos) {
-        out.push_back(Violation{
-            f.relative, i + 1, "include-hygiene",
-            "parent-relative include; use a src/-relative path instead"});
-      }
-    }
-  }
-}
-
-void check_explicit_memory_order(const std::vector<SourceFile>& files,
-                                 std::vector<Violation>& out) {
-  // Atomic member operations that accept a std::memory_order argument.
-  // Matched only when preceded by '.' or '>' (i.e. `x.load(`, `p->store(`)
-  // so free functions like `load_etc(` never trip the rule. `exchange(`
-  // cannot match inside `compare_exchange_*(` — the longer names continue
-  // with `_weak`/`_strong`, not `(`.
-  constexpr std::string_view kAtomicOps[] = {
-      "load(",
-      "store(",
-      "exchange(",
-      "fetch_add(",
-      "fetch_sub(",
-      "fetch_and(",
-      "fetch_or(",
-      "fetch_xor(",
-      "compare_exchange_weak(",
-      "compare_exchange_strong(",
-  };
-  // An atomic call may wrap; gather up to this many continuation lines when
-  // balancing the parentheses of the call.
-  constexpr std::size_t kMaxContinuationLines = 10;
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "src/")) continue;
-    if (file_allows(f, "explicit-memory-order")) continue;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      const std::string& line = f.lines[i];
-      if (starts_with(trim_left(line), "//")) continue;
-      bool flagged = false;  // at most one finding per line
-      for (const std::string_view op : kAtomicOps) {
-        for (std::size_t pos = line.find(op); pos != std::string::npos;
-             pos = line.find(op, pos + 1)) {
-          if (pos == 0) continue;
-          const char before = line[pos - 1];
-          if (before != '.' && before != '>') continue;
-          // Collect the call text from the opening '(' to its matching
-          // ')', spilling across continuation lines for wrapped calls.
-          std::string call_text;
-          int depth = 0;
-          bool closed = false;
-          std::size_t row = i;
-          std::size_t col = pos + op.size() - 1;  // the '(' in the token
-          while (row < f.lines.size() &&
-                 row < i + 1 + kMaxContinuationLines && !closed) {
-            const std::string& scan = f.lines[row];
-            for (; col < scan.size(); ++col) {
-              const char c = scan[col];
-              call_text += c;
-              if (c == '(') ++depth;
-              if (c == ')' && --depth == 0) {
-                closed = true;
-                break;
-              }
-            }
-            ++row;
-            col = 0;
-          }
-          if (call_text.find("memory_order") != std::string::npos) continue;
-          if (line_allows(f, i, "memory-order")) continue;
-          out.push_back(Violation{
-              f.relative, i + 1, "explicit-memory-order",
-              "atomic '" + std::string(op) +
-                  "...)' without an explicit std::memory_order — name the "
-                  "ordering (and justify it in a comment), or audit the "
-                  "site and mark it '// lint:allow(memory-order)'"});
-          flagged = true;
-          break;
-        }
-        if (flagged) break;
-      }
-    }
-  }
-}
-
-void check_no_nondeterminism_in_core(const std::vector<SourceFile>& files,
-                                     std::vector<Violation>& out) {
-  // Layers whose outputs must be a pure function of (problem, seed). The
-  // sim layer may use wall clocks and ambient entropy; these may not.
-  constexpr std::string_view kDeterministicDirs[] = {
-      "src/core/",
-      "src/heuristics/",
-      "src/etc/",
-      "src/ga/",
-  };
-  struct Banned {
-    std::string_view token;
-    bool word_boundary;  // previous char must not be an identifier char
-    std::string_view why;
-  };
-  constexpr Banned kBanned[] = {
-      {"std::random_device", false,
-       "ambient entropy; thread seeded randomness through core/rng.hpp"},
-      {"std::chrono::system_clock", false,
-       "wall-clock time; use steady_clock in sim/ or pass timestamps in"},
-      {"std::unordered_map", false,
-       "iteration order is implementation-defined; use std::map (or sort)"},
-      {"std::unordered_set", false,
-       "iteration order is implementation-defined; use std::set (or sort)"},
-      {"srand(", true, "global RNG reseed; use core/rng.hpp streams"},
-      {"rand(", true, "C global RNG; use core/rng.hpp streams"},
-      {"time(", true, "wall-clock time; pass timestamps in from the caller"},
-  };
-  for (const SourceFile& f : files) {
-    bool in_scope = false;
-    for (const std::string_view dir : kDeterministicDirs) {
-      if (starts_with(f.relative, dir)) in_scope = true;
-    }
-    if (!in_scope) continue;
-    if (file_allows(f, "no-nondeterminism-in-core")) continue;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      const std::string& line = f.lines[i];
-      if (starts_with(trim_left(line), "//")) continue;
-      for (const Banned& ban : kBanned) {
-        const std::size_t pos = line.find(ban.token);
-        if (pos == std::string::npos) continue;
-        // `rand(` must not fire inside `srand(`; `time(` must not fire
-        // inside `completion_time(` or `steady_clock::now` callers — the
-        // boundary check rejects a preceding identifier character.
-        // (A preceding ':' stays in scope so `std::rand(`/`std::time(`
-        // are still caught.)
-        if (ban.word_boundary && pos > 0 &&
-            is_identifier_char(line[pos - 1])) {
-          continue;
-        }
-        if (line_allows(f, i, "nondeterminism")) continue;
-        // Built with += rather than an operator+ chain: GCC 12 miscompiles
-        // the diagnostic for `const char* + string&&` here into a spurious
-        // -Werror=restrict (GCC PR105651).
-        std::string message = "'";
-        message += ban.token;
-        message += "' in a deterministic layer: ";
-        message += ban.why;
-        message += " (or mark the audited line '// lint:allow("
-                   "nondeterminism)')";
-        out.push_back(Violation{f.relative, i + 1, "no-nondeterminism-in-core",
-                                std::move(message)});
-        break;  // one finding per line
-      }
-    }
-  }
-}
-
-void check_lock_annotation_coverage(const std::vector<SourceFile>& files,
-                                    std::vector<Violation>& out) {
-  // Type tokens that declare a mutex member/variable when they open a
-  // declaration line. References/pointers (`Mutex&`, `std::mutex*`) are
-  // aliases to a capability owned elsewhere and are not declarations.
-  constexpr std::string_view kMutexTypes[] = {
-      "std::mutex ",
-      "core::Mutex ",
-      "Mutex ",
-  };
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "src/")) continue;
-    if (file_allows(f, "lock-annotation-coverage")) continue;
-    std::string file_text;
-    for (const std::string& line : f.lines) {
-      file_text += line;
-      file_text += '\n';
-    }
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      std::string_view line = trim_left(f.lines[i]);
-      if (starts_with(line, "//")) continue;
-      if (starts_with(line, "mutable ")) {
-        line.remove_prefix(sizeof("mutable ") - 1);
-      }
-      for (const std::string_view type : kMutexTypes) {
-        if (!starts_with(line, type)) continue;
-        std::string_view rest = trim_left(line.substr(type.size()));
-        std::size_t len = 0;
-        while (len < rest.size() && is_identifier_char(rest[len])) ++len;
-        if (len == 0) continue;  // not a named declaration
-        const std::string name(rest.substr(0, len));
-        // GUARDED_BY(name) with a closing paren pins the exact mutex name
-        // (so a file holding both `mutex` and `mutex_` cannot satisfy one
-        // with the other's annotation); the bare substring also matches
-        // HCSCHED_PT_GUARDED_BY, which equally proves the lock guards
-        // something.
-        const std::string needle = "GUARDED_BY(" + name + ")";
-        if (file_text.find(needle) != std::string::npos) break;
-        if (line_allows(f, i, "lock-annotation")) break;
-        out.push_back(Violation{
-            f.relative, i + 1, "lock-annotation-coverage",
-            "mutex '" + name +
-                "' has no GUARDED_BY/PT_GUARDED_BY field naming it — "
-                "annotate what it protects (core/thread_annotations.hpp), "
-                "or mark the audited line '// lint:allow("
-                "lock-annotation)'"});
-        break;
-      }
-    }
-  }
-}
-
-void check_metric_docs(const fs::path& root,
-                       const std::vector<SourceFile>& files,
-                       std::vector<Violation>& out) {
-  // Registration entry points whose first argument is the metric name.
-  // Only literal names are checked: a site passing a variable (e.g. the
-  // macro bodies in obs/metrics.hpp forwarding `(name)`) is skipped, since
-  // its literal is checked where the macro is invoked.
-  constexpr std::string_view kSites[] = {
-      "HCSCHED_METRIC_COUNT(",     "HCSCHED_METRIC_GAUGE_SET(",
-      "HCSCHED_METRIC_OBSERVE(",   "metrics::counter(",
-      "metrics::gauge(",           "metrics::histogram(",
-  };
-  std::string docs_text;
-  {
-    std::ifstream in(root / "docs" / "OBSERVABILITY.md");
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    docs_text = buffer.str();  // empty when the docs file is absent
-  }
-  for (const SourceFile& f : files) {
-    if (!starts_with(f.relative, "src/")) continue;
-    if (file_allows(f, "metric-docs")) continue;
-    for (std::size_t i = 0; i < f.lines.size(); ++i) {
-      const std::string& line = f.lines[i];
-      if (starts_with(trim_left(line), "//")) continue;
-      for (const std::string_view site : kSites) {
-        const std::size_t pos = line.find(site);
-        if (pos == std::string::npos) continue;
-        std::string_view after =
-            trim_left(std::string_view(line).substr(pos + site.size()));
-        if (after.empty() || after.front() != '"') continue;  // non-literal
-        after.remove_prefix(1);
-        const std::size_t close = after.find('"');
-        if (close == std::string_view::npos || close == 0) continue;
-        const std::string name(after.substr(0, close));
-        if (docs_text.find(name) != std::string::npos) continue;
-        if (line_allows(f, i, "metric-docs")) continue;
-        out.push_back(Violation{
-            f.relative, i + 1, "metric-docs",
-            "metric '" + name +
-                "' is not documented in docs/OBSERVABILITY.md — add it to "
-                "the metrics table (or mark the audited line "
-                "'// lint:allow(metric-docs)')"});
-        break;  // one finding per line
-      }
-    }
-  }
-}
-
-}  // namespace
+#include "analyze/engine.hpp"
 
 int main(int argc, char** argv) {
-  fs::path root;
-  bool verbose = false;
+  analyze::Options opts;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
+      opts.root = argv[++i];
     } else if (arg == "--verbose") {
-      verbose = true;
+      opts.verbose = true;
     } else {
       std::cerr << "usage: hcsched_lint --root <dir> [--verbose]\n";
       return 2;
     }
   }
-  if (root.empty()) {
+  if (opts.root.empty()) {
     std::cerr << "hcsched_lint: --root is required\n";
     return 2;
   }
-  std::error_code ec;
-  root = fs::canonical(root, ec);
-  if (ec) {
-    std::cerr << "hcsched_lint: cannot open root: " << ec.message() << "\n";
-    return 2;
-  }
-
-  const std::vector<SourceFile> files = collect_sources(root);
-  if (verbose) {
-    std::cout << "hcsched_lint: scanning " << files.size()
-              << " source files under " << root.generic_string() << "\n";
-  }
-
-  std::vector<Violation> violations;
-  check_heuristic_registry(files, violations);
-  check_fastpath_differential(files, violations);
-  check_trace_guard(files, violations);
-  check_test_registration(root, files, violations);
-  check_include_hygiene(files, violations);
-  check_explicit_memory_order(files, violations);
-  check_no_nondeterminism_in_core(files, violations);
-  check_lock_annotation_coverage(files, violations);
-  check_metric_docs(root, files, violations);
-
-  std::sort(violations.begin(), violations.end(),
-            [](const Violation& a, const Violation& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  for (const Violation& v : violations) {
-    std::cout << v.file;
-    if (v.line != 0) std::cout << ':' << v.line;
-    std::cout << ": [" << v.rule << "] " << v.message << "\n";
-  }
-  if (violations.empty()) {
-    if (verbose) std::cout << "hcsched_lint: clean\n";
-    return 0;
-  }
-  std::cout << "hcsched_lint: " << violations.size() << " violation"
-            << (violations.size() == 1 ? "" : "s") << "\n";
-  return 1;
+  return analyze::run(opts);
 }
