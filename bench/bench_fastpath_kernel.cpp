@@ -1,4 +1,4 @@
-// Reference vs fast-path kernel for the two-phase greedy heuristics over
+// Reference vs fast-path kernel for every fastpath-covered heuristic over
 // the m x t grid from docs/FASTPATH.md (m in {8, 32, 128}, t in {128, 512,
 // 2048}).
 //
@@ -6,7 +6,11 @@
 //  * A manual timing sweep that cross-checks schedule equivalence per cell,
 //    prints a comparison table, and writes BENCH_fastpath.json (path
 //    overridable with --json-out <path>) — the machine-readable record the
-//    ISSUE's >= 2x Min-Min acceptance bar is checked against.
+//    ISSUE acceptance bars (>= 2x Min-Min, >= 5x Sufferage at t=2048,
+//    m=128) are checked against. The heuristic rows are derived from the
+//    fastpath dispatch table (fastpath.hpp kernel_table()), so a new kernel
+//    lands in the baseline — and in tools/bench_check's required-row set —
+//    the moment it is registered.
 //  * The usual google-benchmark registration of both paths, for
 //    --benchmark_filter-style exploration.
 #include <benchmark/benchmark.h>
@@ -20,7 +24,6 @@
 
 #include "etc/cvb_generator.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
-#include "heuristics/minmin.hpp"
 #include "obs/json.hpp"
 #include "rng/rng.hpp"
 #include "rng/tie_break.hpp"
@@ -47,23 +50,22 @@ EtcMatrix make_matrix(std::size_t tasks, std::size_t machines) {
   return CvbEtcGenerator(p).generate(rng);
 }
 
-Schedule run_path(const Problem& problem, bool use_fastpath,
-                  bool prefer_largest) {
-  const fastpath::ScopedMode scope(use_fastpath ? fastpath::Mode::kForceOn
-                                                : fastpath::Mode::kForceOff);
+Schedule run_path(const fastpath::KernelInfo& info, const Problem& problem,
+                  bool use_fastpath) {
   TieBreaker ties;
-  return hcsched::heuristics::detail::two_phase_greedy(problem, ties,
-                                                       prefer_largest);
+  return use_fastpath ? info.fast(problem, ties)
+                      : info.reference(problem, ties);
 }
 
 /// Best-of-reps wall time of one path on one problem, in nanoseconds.
 /// Minimum (not mean) because scheduling noise only ever adds time.
-std::uint64_t time_path_ns(const Problem& problem, bool use_fastpath,
-                           bool prefer_largest, int reps) {
+std::uint64_t time_path_ns(const fastpath::KernelInfo& info,
+                           const Problem& problem, bool use_fastpath,
+                           int reps) {
   std::uint64_t best = ~std::uint64_t{0};
   for (int r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
-    Schedule s = run_path(problem, use_fastpath, prefer_largest);
+    Schedule s = run_path(info, problem, use_fastpath);
     const auto stop = std::chrono::steady_clock::now();
     benchmark::DoNotOptimize(s);
     best = std::min(best, static_cast<std::uint64_t>(
@@ -74,46 +76,43 @@ std::uint64_t time_path_ns(const Problem& problem, bool use_fastpath,
   return best;
 }
 
-/// The manual sweep: every grid cell for Min-Min and Max-Min, equivalence
-/// cross-checked, table printed, JSON written. Returns false if any cell
-/// diverged (the JSON still records it).
+/// The manual sweep: every grid cell for every dispatch-table kernel,
+/// equivalence cross-checked, table printed, JSON written. Returns false if
+/// any cell diverged (the JSON still records it).
 bool run_sweep(const std::string& json_path) {
   bool all_equivalent = true;
   JsonValue::Array cells;
   std::printf(
-      "%-8s %6s %9s | %12s %12s %8s\n", "heur", "tasks", "machines",
+      "%-10s %6s %9s | %12s %12s %8s\n", "heur", "tasks", "machines",
       "reference_ms", "fastpath_ms", "speedup");
-  for (const bool prefer_largest : {false, true}) {
-    const char* heuristic = prefer_largest ? "Max-Min" : "Min-Min";
+  for (const fastpath::KernelInfo& info : fastpath::kernel_table()) {
     for (const std::size_t tasks : kTasks) {
       for (const std::size_t machines : kMachines) {
         const EtcMatrix matrix = make_matrix(tasks, machines);
         const Problem problem = Problem::full(matrix);
-        const Schedule ref =
-            run_path(problem, /*use_fastpath=*/false, prefer_largest);
-        const Schedule fast =
-            run_path(problem, /*use_fastpath=*/true, prefer_largest);
+        const Schedule ref = run_path(info, problem, /*use_fastpath=*/false);
+        const Schedule fast = run_path(info, problem, /*use_fastpath=*/true);
         const bool equivalent =
             ref.same_mapping(fast) &&
             ref.completion_times_by_slot() == fast.completion_times_by_slot();
         all_equivalent = all_equivalent && equivalent;
         // Warm runs above already touched every cache line; fewer reps at
-        // the big sizes keep the sweep under ~half a minute.
+        // the big sizes keep the sweep bounded.
         const int reps = tasks >= 2048 ? 3 : 5;
         const std::uint64_t ref_ns =
-            time_path_ns(problem, false, prefer_largest, reps);
+            time_path_ns(info, problem, false, reps);
         const std::uint64_t fast_ns =
-            time_path_ns(problem, true, prefer_largest, reps);
+            time_path_ns(info, problem, true, reps);
         const double speedup = fast_ns == 0
                                    ? 0.0
                                    : static_cast<double>(ref_ns) /
                                          static_cast<double>(fast_ns);
-        std::printf("%-8s %6zu %9zu | %12.3f %12.3f %7.2fx%s\n", heuristic,
+        std::printf("%-10s %6zu %9zu | %12.3f %12.3f %7.2fx%s\n", info.name,
                     tasks, machines, static_cast<double>(ref_ns) / 1e6,
                     static_cast<double>(fast_ns) / 1e6, speedup,
                     equivalent ? "" : "  DIVERGED");
         JsonValue::Object cell;
-        cell.emplace_back("heuristic", JsonValue(heuristic));
+        cell.emplace_back("heuristic", JsonValue(info.name));
         cell.emplace_back("tasks", JsonValue(tasks));
         cell.emplace_back("machines", JsonValue(machines));
         cell.emplace_back("reference_ns", JsonValue(ref_ns));
@@ -136,30 +135,34 @@ bool run_sweep(const std::string& json_path) {
   return all_equivalent;
 }
 
-void BM_TwoPhase(benchmark::State& state, bool use_fastpath) {
+void BM_Kernel(benchmark::State& state, const fastpath::KernelInfo* info,
+               bool use_fastpath) {
   const auto tasks = static_cast<std::size_t>(state.range(0));
   const auto machines = static_cast<std::size_t>(state.range(1));
   const EtcMatrix matrix = make_matrix(tasks, machines);
   const Problem problem = Problem::full(matrix);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        run_path(problem, use_fastpath, /*prefer_largest=*/false));
+    benchmark::DoNotOptimize(run_path(*info, problem, use_fastpath));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(tasks));
 }
 
 void register_benchmarks() {
-  for (const bool use_fastpath : {false, true}) {
-    auto* bench = benchmark::RegisterBenchmark(
-        use_fastpath ? "minmin/fastpath" : "minmin/reference", BM_TwoPhase,
-        use_fastpath);
-    for (const std::size_t tasks : kTasks) {
-      for (const std::size_t machines : kMachines) {
-        bench->Args({static_cast<long>(tasks), static_cast<long>(machines)});
+  for (const fastpath::KernelInfo& info : fastpath::kernel_table()) {
+    for (const bool use_fastpath : {false, true}) {
+      const std::string label = std::string(info.name) +
+                                (use_fastpath ? "/fastpath" : "/reference");
+      auto* bench = benchmark::RegisterBenchmark(label.c_str(), BM_Kernel,
+                                                 &info, use_fastpath);
+      for (const std::size_t tasks : kTasks) {
+        for (const std::size_t machines : kMachines) {
+          bench->Args(
+              {static_cast<long>(tasks), static_cast<long>(machines)});
+        }
       }
+      bench->Unit(benchmark::kMillisecond);
     }
-    bench->Unit(benchmark::kMillisecond);
   }
 }
 

@@ -1,12 +1,14 @@
 #include "core/iterative.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "core/cancel.hpp"
 #include "core/check.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
+#include "heuristics/fastpath/reuse.hpp"
 #include "obs/counters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -123,6 +125,18 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
   };
 
   Problem current = problem;
+  // Incremental machine-removal state for the fastpath kernels: the view of
+  // the current problem's ETC cells is compacted in place each round
+  // instead of re-gathered. The heuristic is still invoked through its
+  // normal NVI entry (instrumentation and fault-injection sites stay), and
+  // kernels that don't recognize the problem simply ignore the context —
+  // equivalence never depends on it (reuse.hpp).
+  std::optional<heuristics::fastpath::IterativeReuse> reuse;
+  std::optional<heuristics::fastpath::ScopedReuse> reuse_scope;
+  if (heuristics::fastpath::enabled()) {
+    reuse.emplace(current);
+    reuse_scope.emplace(*reuse);
+  }
   Schedule seed_storage;
   const Schedule* seed = nullptr;
   std::size_t index = 0;
@@ -190,6 +204,7 @@ IterativeResult IterativeMinimizer::run(const Heuristic& heuristic,
         current.num_tasks() == done.problem().num_tasks() -
                                    removed_tasks.size(),
         "iteration ", index, " dropped tasks not on the frozen machine");
+    if (reuse.has_value()) reuse->apply_removal(current);
     ++index;
 
     // Seed for the next iteration: the just-produced mapping restricted to

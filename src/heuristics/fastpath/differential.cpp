@@ -3,9 +3,15 @@
 #include <sstream>
 #include <vector>
 
+// Audited upward includes: the iterative differential pins the WHOLE
+// minimizer (fastpath off vs on), so this validation harness — which the
+// coverage rule requires to live beside the kernels it proves — must drive
+// core::IterativeMinimizer over registry-constructed heuristics. Production
+// code keeps the one-way core/algo -> heuristics direction; only this
+// test/fuzz-shared harness looks back up.
+#include "core/iterative.hpp"       // lint:allow(layering)
 #include "etc/cvb_generator.hpp"
-#include "heuristics/fastpath/fastpath.hpp"
-#include "heuristics/minmin.hpp"
+#include "heuristics/registry.hpp"  // lint:allow(layering)
 #include "obs/counters.hpp"
 #include "rng/rng.hpp"
 
@@ -89,6 +95,40 @@ std::string first_divergence(const Schedule& ref, const Schedule& fast) {
   return {};
 }
 
+/// Full run_iterative equivalence: iteration counts, every iteration's
+/// mapping and makespan machine across cut points, and the final
+/// finishing-time table. Returns "" when identical.
+std::string iterative_divergence(const core::IterativeResult& ref,
+                                 const core::IterativeResult& fast) {
+  std::ostringstream out;
+  if (ref.iterations.size() != fast.iterations.size()) {
+    out << "iteration counts differ: reference " << ref.iterations.size()
+        << " vs fastpath " << fast.iterations.size();
+    return out.str();
+  }
+  for (std::size_t i = 0; i < ref.iterations.size(); ++i) {
+    const core::IterationRecord& r = ref.iterations[i];
+    const core::IterationRecord& f = fast.iterations[i];
+    const std::string diff = first_divergence(r.schedule, f.schedule);
+    if (!diff.empty()) {
+      out << "iteration " << i << ": " << diff;
+      return out.str();
+    }
+    if (r.makespan != f.makespan ||
+        r.makespan_machine != f.makespan_machine) {
+      out << "iteration " << i << " cut point differs: reference m"
+          << r.makespan_machine << " @ " << r.makespan << " vs fastpath m"
+          << f.makespan_machine << " @ " << f.makespan;
+      return out.str();
+    }
+  }
+  if (ref.final_finishing_times != fast.final_finishing_times) {
+    out << "final finishing-time tables differ";
+    return out.str();
+  }
+  return {};
+}
+
 }  // namespace
 
 DifferentialOutcome run_differential_case(const DifferentialCase& c) {
@@ -131,26 +171,44 @@ DifferentialOutcome run_differential_case(const DifferentialCase& c) {
   rng::TieBreaker ref_ties = make_ties(ref_rng);
   rng::TieBreaker fast_ties = make_ties(fast_rng);
 
+  const KernelInfo& info = *find_kernel(c.kernel);
   DifferentialOutcome outcome;
+  if (c.iterative) {
+    // Whole-minimizer comparison: the heuristic dispatches internally, so
+    // the two paths are selected by scoped mode (which also controls
+    // whether the minimizer installs the incremental removal context).
+    const auto heuristic = make_heuristic(info.name);
+    const core::IterativeMinimizer minimizer;
+    core::IterativeResult ref;
+    core::IterativeResult fast;
+    {
+      const ScopedMode off(Mode::kForceOff);
+      ref = minimizer.run(*heuristic, problem, ref_ties);
+    }
+    {
+      const ScopedMode on(Mode::kForceOn);
+      fast = minimizer.run(*heuristic, problem, fast_ties);
+    }
+    outcome.divergence = iterative_divergence(ref, fast);
+  } else {
 #if HCSCHED_TRACE
-  const auto before_ref = obs::counters::snapshot();
+    const auto before_ref = obs::counters::snapshot();
 #endif
-  const Schedule ref = heuristics::detail::two_phase_greedy_reference(
-      problem, ref_ties, c.prefer_largest);
+    const Schedule ref = info.reference(problem, ref_ties);
 #if HCSCHED_TRACE
-  const auto before_fast = obs::counters::snapshot();
+    const auto before_fast = obs::counters::snapshot();
 #endif
-  const Schedule fast =
-      two_phase_greedy_fast(problem, fast_ties, c.prefer_largest);
+    const Schedule fast = info.fast(problem, fast_ties);
 #if HCSCHED_TRACE
-  const auto after = obs::counters::snapshot();
-  outcome.reference_cell_evals = before_fast.delta_since(
-      before_ref)[obs::Counter::kEtcCellEvaluations];
-  outcome.fastpath_cell_evals =
-      after.delta_since(before_fast)[obs::Counter::kEtcCellEvaluations];
+    const auto after = obs::counters::snapshot();
+    outcome.reference_cell_evals = before_fast.delta_since(
+        before_ref)[obs::Counter::kEtcCellEvaluations];
+    outcome.fastpath_cell_evals =
+        after.delta_since(before_fast)[obs::Counter::kEtcCellEvaluations];
 #endif
+    outcome.divergence = first_divergence(ref, fast);
+  }
 
-  outcome.divergence = first_divergence(ref, fast);
   if (outcome.divergence.empty() &&
       ref_ties.decisions() != fast_ties.decisions()) {
     std::ostringstream out;
@@ -175,8 +233,8 @@ std::string describe(const DifferentialCase& c) {
   out << "seed=" << c.seed << " t=" << c.tasks << " m=" << c.machines
       << " consistency=" << etc::to_string(c.consistency)
       << " policy=" << policy_name(c.policy)
-      << " heuristic=" << (c.prefer_largest ? "Max-Min" : "Min-Min")
-      << (c.subset ? " subset" : "");
+      << " heuristic=" << find_kernel(c.kernel)->name
+      << (c.subset ? " subset" : "") << (c.iterative ? " iterative" : "");
   return out.str();
 }
 

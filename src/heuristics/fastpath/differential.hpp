@@ -4,13 +4,17 @@
 // tools/fuzz/fastpath_fuzz.cpp (the env-driven seed-sweep runner), so a CI
 // widening of the fuzz range exercises byte-for-byte the same checks the
 // unit suite pins. A case is fully described by a seed plus the knobs
-// below; describe() prints a one-line repro.
+// below; describe() prints a one-line repro. The heuristic under test is a
+// row of the fastpath dispatch table (fastpath.hpp kernel_table()) — the
+// suite and the fuzzer enumerate the table, so a new kernel is in the
+// matrix the moment it is registered.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "etc/consistency.hpp"
+#include "heuristics/fastpath/fastpath.hpp"
 #include "rng/tie_break.hpp"
 
 namespace hcsched::heuristics::fastpath {
@@ -21,10 +25,13 @@ struct DifferentialCase {
   std::size_t machines = 4;
   etc::Consistency consistency = etc::Consistency::kInconsistent;
   rng::TiePolicy policy = rng::TiePolicy::kDeterministic;
-  bool prefer_largest = false;  ///< false = Min-Min, true = Max-Min
+  Kernel kernel = Kernel::kMinMin;  ///< dispatch-table row under test
   /// Map a task/machine subset with nonzero initial ready times (derived
   /// deterministically from the seed) instead of the full problem.
   bool subset = false;
+  /// Compare full IterativeMinimizer::run outcomes (every iteration's
+  /// mapping across cut points, fastpath off vs on) instead of one mapping.
+  bool iterative = false;
   double mean_task_time = 100.0;
   double v_task = 0.6;
   double v_machine = 0.6;
@@ -35,19 +42,23 @@ struct DifferentialOutcome {
   /// Empty when equivalent; otherwise the first divergence found.
   std::string divergence{};
   /// etc_cell_evaluations each path charged (0 when HCSCHED_TRACE is off or
-  /// when other threads are concurrently counting).
+  /// when other threads are concurrently counting; also 0 for iterative
+  /// cases, where the NVI instrumentation charges both paths).
   std::uint64_t reference_cell_evals = 0;
   std::uint64_t fastpath_cell_evals = 0;
 };
 
-/// Generates the case's CVB matrix, runs the reference loop and the kernel
-/// with identically-seeded TieBreakers, and compares: assignment sequences
+/// Generates the case's CVB matrix and compares the reference loop against
+/// the kernel under identically-seeded TieBreakers: assignment sequences
 /// (task, machine, start, finish — exact doubles), completion-time vectors
-/// by slot, and the TieBreakers' decision/tie-event counts.
+/// by slot, and the TieBreakers' decision/tie-event counts. Iterative cases
+/// run the whole minimizer under ScopedMode off/on and additionally compare
+/// iteration counts, every iteration's mapping, the per-iteration makespan
+/// machines, and the final finishing-time table.
 DifferentialOutcome run_differential_case(const DifferentialCase& c);
 
 /// One-line repro description, e.g.
-/// "seed=7 t=24 m=6 consistency=semi policy=random heuristic=Max-Min".
+/// "seed=7 t=24 m=6 consistency=semi policy=random heuristic=Sufferage".
 std::string describe(const DifferentialCase& c);
 
 }  // namespace hcsched::heuristics::fastpath

@@ -1,9 +1,12 @@
 #include "heuristics/fastpath/etc_view.hpp"
 
+#include "core/check.hpp"
+
 namespace hcsched::heuristics::fastpath {
 
-EtcView::EtcView(const sched::Problem& problem)
-    : tasks_(problem.num_tasks()), slots_(problem.num_machines()) {
+void EtcView::assign(const sched::Problem& problem) {
+  tasks_ = problem.num_tasks();
+  slots_ = problem.num_machines();
   data_.resize(tasks_ * slots_);
   const auto& machines = problem.machines();
   double* out = data_.data();
@@ -13,6 +16,30 @@ EtcView::EtcView(const sched::Problem& problem)
       *out++ = full_row[static_cast<std::size_t>(machines[slot])];
     }
   }
+}
+
+void EtcView::compact(std::size_t slot,
+                      std::span<const std::size_t> drop_rows) {
+  HCSCHED_PRECONDITION(slot < slots_, "EtcView::compact: slot ", slot,
+                       " out of ", slots_, " slots");
+  HCSCHED_PRECONDITION(drop_rows.size() <= tasks_,
+                       "EtcView::compact: dropping ", drop_rows.size(),
+                       " of ", tasks_, " rows");
+  const double* in = data_.data();
+  double* out = data_.data();
+  std::size_t next_drop = 0;
+  for (std::size_t r = 0; r < tasks_; ++r, in += slots_) {
+    if (next_drop < drop_rows.size() && drop_rows[next_drop] == r) {
+      ++next_drop;
+      continue;
+    }
+    for (std::size_t s = 0; s < slots_; ++s) {
+      if (s != slot) *out++ = in[s];
+    }
+  }
+  tasks_ -= drop_rows.size();
+  slots_ -= 1;
+  data_.resize(tasks_ * slots_);
 }
 
 }  // namespace hcsched::heuristics::fastpath

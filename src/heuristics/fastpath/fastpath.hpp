@@ -23,7 +23,12 @@
 //     the mode is kAuto (read once, at first query).
 #pragma once
 
+#include <span>
+
 #include "heuristics/heuristic.hpp"
+#include "heuristics/kpb.hpp"
+#include "heuristics/sufferage.hpp"
+#include "heuristics/swa.hpp"
 
 #ifndef HCSCHED_FASTPATH
 #define HCSCHED_FASTPATH 1
@@ -64,13 +69,68 @@ class ScopedMode {
   Mode previous_;
 };
 
-/// The incremental kernel. Produces output equivalent to the reference
-/// two-phase greedy loop under every TiePolicy: identical assignments (same
-/// order), identical completion-time vectors, identical TieBreaker decision
-/// and tie-event counts, identical RNG/script consumption. Only the
-/// etc_cell_evaluations counter differs (it reports the work actually done,
-/// which is the point).
+// ---------------------------------------------------------------------------
+// Kernels. Every kernel produces output equivalent to its reference loop
+// under every TiePolicy: identical assignments (same order), identical
+// completion-time vectors, identical TieBreaker decision and tie-event
+// counts, identical RNG/script consumption. Only the etc_cell_evaluations
+// counter may differ (it reports the work actually done, which is the
+// point). docs/FASTPATH.md carries the per-kernel equivalence arguments;
+// tests/test_fastpath_differential.cpp and tools/fuzz/ enforce them.
+
+/// Two-phase greedy (Min-Min / Max-Min, and Duplex which runs both):
+/// cached phase-one decisions replayed until the updated machine slot
+/// enters a task's epsilon-tied best set.
 Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
                                bool prefer_largest);
+
+/// Sufferage: cached per-task (best, second-best) completion pairs with
+/// single-machine invalidation across passes.
+Schedule sufferage_fast(const Problem& problem, TieBreaker& ties,
+                        SufferageRequeue requeue,
+                        std::vector<SufferageStep>* trace);
+
+/// K-Percent Best: cached per-task machine rankings (reused across
+/// iterative iterations) feeding a k-subset min-scan. `subset_size` is
+/// Kpb::subset_size(problem.num_machines()).
+Schedule kpb_fast(const Problem& problem, TieBreaker& ties,
+                  std::size_t subset_size, std::vector<KpbStep>* trace);
+
+/// Switching Algorithm: incremental min/max ready-time maintenance for the
+/// balance index; MET rounds score straight off the ETC view row.
+Schedule swa_fast(const Problem& problem, TieBreaker& ties, double low,
+                  double high, std::vector<SwaStep>* trace);
+
+// ---------------------------------------------------------------------------
+// Dispatch table: the single source of truth for which heuristics have a
+// kernel. The differential suite, the fuzzer and the bench derive their
+// coverage from this table, so adding a kernel without registering it here
+// cannot silently escape the equivalence matrix (and the table's canonical
+// `name` ties each entry back to heuristics::make_heuristic for the
+// iterative-loop differential).
+
+enum class Kernel : std::uint8_t {
+  kMinMin,
+  kMaxMin,
+  kSufferage,
+  kKpb,
+  kSwa,
+};
+
+struct KernelInfo {
+  Kernel kernel;
+  /// Canonical registry spelling (heuristics/registry.hpp).
+  const char* name;
+  /// Reference loop and kernel with the heuristic's default knobs —
+  /// identically-callable adapters for differential comparison.
+  Schedule (*reference)(const Problem& problem, TieBreaker& ties);
+  Schedule (*fast)(const Problem& problem, TieBreaker& ties);
+};
+
+/// All fastpath-covered heuristics, in enum order.
+std::span<const KernelInfo> kernel_table() noexcept;
+
+/// Table row for `kernel`; never null.
+const KernelInfo* find_kernel(Kernel kernel) noexcept;
 
 }  // namespace hcsched::heuristics::fastpath

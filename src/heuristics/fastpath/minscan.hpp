@@ -1,0 +1,65 @@
+// Portable vectorized min/max scan primitives for the fastpath kernels.
+//
+// Every kernel inner loop is one of three reductions over contiguous
+// doubles: min of ready[i] + etc[i] (a fused completion-time scan), or a
+// plain min / max over one array. IEEE min and max are associative and
+// commutative for non-NaN inputs and the lane-wise additions are the exact
+// same operations in any order, so any reduction tree returns the same
+// value as the reference's sequential std::min fold — the vector paths are
+// bit-identical, not merely close (all ETC cells are finite and positive;
+// docs/FASTPATH.md states the argument, tests/test_fastpath_differential.cpp
+// enforces it on exact doubles).
+//
+// Dispatch: AVX2 on x86-64 via function multiversioning with a cached
+// __builtin_cpu_supports probe (no -mavx2 flag leaks into other TUs, and
+// non-AVX2 hosts fall through safely); NEON is baseline on aarch64; every
+// other target uses the scalar fallback. The fused best-two scan below has
+// AVX2 and scalar bodies only — NEON hosts take the scalar path there while
+// keeping the plain reductions in lanes.
+#pragma once
+
+#include <cstddef>
+
+namespace hcsched::heuristics::fastpath::minscan {
+
+/// min over i in [0, n) of ready[i] + etc[i]. n must be >= 1.
+double min_completion(const double* ready, const double* etc,
+                      std::size_t n) noexcept;
+
+/// min / max over i in [0, n) of v[i]. n must be >= 1.
+double min_value(const double* v, std::size_t n) noexcept;
+double max_value(const double* v, std::size_t n) noexcept;
+
+/// Result of sufferage_scan over the scores x[i] = ready[i] + etc[i].
+struct SufferageScan {
+  double min1;             ///< exact minimum score
+  double min2;             ///< min over i != min1_slot (== min1 when n == 1)
+  std::size_t min1_slot;   ///< FIRST slot attaining min1
+  std::size_t min2_slot;   ///< some slot != min1_slot attaining min2
+                           ///< (0, unused, when n == 1)
+  std::size_t tied_count;  ///< slots written to `tied`
+};
+
+/// Fused single-call Sufferage row scan: exact minimum with its first
+/// attaining slot, the minimum over the remaining slots (the reference's
+/// "second best" with multiplicity — a duplicated minimum yields
+/// min2 == min1) with one attaining slot, and the ascending list of
+/// epsilon-tied slots written to `tied` (capacity n).
+///
+/// The tie predicate is (x[i] - min1) <= eps, bit-identical to
+/// TieBreaker::tied(min1, x[i]) = |min1 - x[i]| <= eps because min1 is the
+/// exact minimum (so x[i] - min1 >= 0 holds for the rounded difference too:
+/// rounding is monotone and IEEE negation is exact). min1_slot is the first
+/// attaining slot — the same index the reference's strict-< fold tracks —
+/// while min2_slot may be ANY attaining slot: the Sufferage kernel only uses
+/// it for cache invalidation, where any witness of min2 is equally sound
+/// (see sufferage_fast.cpp). n must be >= 1; eps must be non-negative.
+SufferageScan sufferage_scan(const double* ready, const double* etc,
+                             std::size_t n, double eps,
+                             std::size_t* tied) noexcept;
+
+/// Which lane implementation min_completion/min_value dispatch to on this
+/// host — "avx2", "neon" or "scalar". For spans/logs, not for correctness.
+const char* active_lanes() noexcept;
+
+}  // namespace hcsched::heuristics::fastpath::minscan

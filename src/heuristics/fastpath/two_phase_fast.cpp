@@ -14,32 +14,24 @@
 // contained the updated slot are rescored from scratch: the minimum may
 // migrate, and previously-out candidates within epsilon of the *new*
 // minimum may enter the set.
+//
+// Per-task state lives in structure-of-arrays slices from the thread
+// workspace's bump pools (workspace.hpp): zero steady-state allocations
+// across a study cell's trials, and the rescore is a vectorized fused
+// min-scan (minscan.hpp) over a contiguous EtcView row.
 #include <algorithm>
 #include <span>
-#include <vector>
 
 #include "core/check.hpp"
-#include "heuristics/fastpath/etc_view.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
+#include "heuristics/fastpath/minscan.hpp"
+#include "heuristics/fastpath/reuse.hpp"
+#include "heuristics/fastpath/workspace.hpp"
 #include "obs/counters.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
 namespace hcsched::heuristics::fastpath {
-
-namespace {
-
-/// Cached phase-one state of one unmapped task. `tied` lists the machine
-/// slots within the TieBreaker's epsilon of `min_ct`, ascending — exactly
-/// the candidate list choose_min would build from the full score vector.
-struct TaskState {
-  double min_ct = 0.0;
-  std::size_t best_slot = 0;
-  double best_ct = 0.0;
-  std::vector<std::size_t> tied{};
-};
-
-}  // namespace
 
 Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
                                bool prefer_largest) {
@@ -62,40 +54,55 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
   std::uint64_t replays = 0;
 #endif
 
-  const EtcView view(problem);
-  std::vector<double> ready = problem.initial_ready_times();
+  Workspace& ws = thread_workspace();
+  const EtcView& view = acquire_view(problem, ws.scratch_view);
 
-  std::vector<TaskState> state(n);
-  std::vector<char> alive(n, 1);
-  std::vector<char> stale(n, 1);  // round 0: everything needs a full score
-  std::vector<std::size_t> round_tied;
-  round_tied.reserve(n);
+  // Structure-of-arrays per-task state: the cached phase-one decision is a
+  // best slot, its completion time, and the epsilon-tied candidate list
+  // (ascending slots — exactly what choose_min would build from the full
+  // score vector), stored as a fixed-stride slice of one flat pool.
+  ws.doubles.reset(m + n);
+  ws.positions.reset(n * m);
+  ws.indices.reset(2 * n);
+  ws.flags.reset(2 * n);
+  const std::span<double> ready = ws.doubles.take(m);
+  const std::span<double> best_ct = ws.doubles.take(n);
+  const std::span<std::size_t> tied_pool = ws.positions.take(n * m);
+  const std::span<std::uint32_t> best_slot = ws.indices.take(n);
+  const std::span<std::uint32_t> tied_count = ws.indices.take(n);
+  const std::span<unsigned char> alive = ws.flags.take(n);
+  const std::span<unsigned char> stale = ws.flags.take(n);
+
+  std::copy(problem.initial_ready_times().begin(),
+            problem.initial_ready_times().end(), ready.begin());
+  std::fill(alive.begin(), alive.end(), static_cast<unsigned char>(1));
+  // Round 0: everything needs a full score.
+  std::fill(stale.begin(), stale.end(), static_cast<unsigned char>(1));
+  SmallVec<std::size_t, 8> round_tied;
 
   std::size_t remaining = n;
   while (remaining > 0) {
     // Phase 1: one TieBreaker decision per unmapped task, in list order,
     // exactly as the reference — rescoring only the stale tasks.
     for (std::size_t p = 0; p < n; ++p) {
-      if (!alive[p]) continue;
-      TaskState& ts = state[p];
+      if (alive[p] == 0) continue;
       const std::span<const double> etc_row = view.row(p);
-      if (stale[p]) {
+      std::size_t* const tied = tied_pool.data() + p * m;
+      if (stale[p] != 0) {
         HCSCHED_COUNT(obs::Counter::kEtcCellEvaluations, m);
         HCSCHED_COUNT(obs::Counter::kFastpathRescores);
 #if HCSCHED_TRACE
         ++rescores;
 #endif
-        double best = ready[0] + etc_row[0];
-        for (std::size_t slot = 1; slot < m; ++slot) {
-          best = std::min(best, ready[slot] + etc_row[slot]);
-        }
-        ts.min_ct = best;
-        ts.tied.clear();
+        const double best =
+            minscan::min_completion(ready.data(), etc_row.data(), m);
+        std::size_t tcount = 0;
         for (std::size_t slot = 0; slot < m; ++slot) {
           if (ties.tied(best, ready[slot] + etc_row[slot])) {
-            ts.tied.push_back(slot);
+            tied[tcount++] = slot;
           }
         }
+        tied_count[p] = static_cast<std::uint32_t>(tcount);
         stale[p] = 0;
       } else {
         HCSCHED_COUNT(obs::Counter::kFastpathReplays);
@@ -106,8 +113,10 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
       // Re-drawn every round even from cache: under TiePolicy::kRandom the
       // reference re-rolls tied candidates each round, and the decision /
       // tie-event counts must match under every policy.
-      ts.best_slot = ties.choose_among(ts.tied);
-      ts.best_ct = ready[ts.best_slot] + etc_row[ts.best_slot];
+      const std::size_t chosen = ties.choose_among(
+          std::span<const std::size_t>(tied, tied_count[p]));
+      best_slot[p] = static_cast<std::uint32_t>(chosen);
+      best_ct[p] = ready[chosen] + etc_row[chosen];
     }
 
     // Phase 2: pick the task with the minimum (Min-Min) or maximum
@@ -118,8 +127,8 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
     double target = 0.0;
     bool first = true;
     for (std::size_t p = 0; p < n; ++p) {
-      if (!alive[p]) continue;
-      const double ct = state[p].best_ct;
+      if (alive[p] == 0) continue;
+      const double ct = best_ct[p];
       if (first) {
         target = ct;
         first = false;
@@ -129,12 +138,12 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
     }
     round_tied.clear();
     for (std::size_t p = 0; p < n; ++p) {
-      if (alive[p] && ties.tied(target, state[p].best_ct)) {
+      if (alive[p] != 0 && ties.tied(target, best_ct[p])) {
         round_tied.push_back(p);
       }
     }
-    const std::size_t pick = ties.choose_among(round_tied);
-    const std::size_t slot = state[pick].best_slot;
+    const std::size_t pick = ties.choose_among(round_tied.as_span());
+    const std::size_t slot = best_slot[pick];
     ready[slot] = schedule.assign(problem.tasks()[pick],
                                   problem.machines()[slot]);
     alive[pick] = 0;
@@ -144,11 +153,10 @@ Schedule two_phase_greedy_fast(const Problem& problem, TieBreaker& ties,
     // updated slot; everyone else replays next round. The tied sets are
     // almost always singletons, so this sweep is O(remaining).
     for (std::size_t p = 0; p < n; ++p) {
-      if (!alive[p] || stale[p]) continue;
-      const std::vector<std::size_t>& tied = state[p].tied;
-      if (std::find(tied.begin(), tied.end(), slot) != tied.end()) {
-        stale[p] = 1;
-      }
+      if (alive[p] == 0 || stale[p] != 0) continue;
+      const std::size_t* const tied = tied_pool.data() + p * m;
+      const std::size_t* const tied_end = tied + tied_count[p];
+      if (std::find(tied, tied_end, slot) != tied_end) stale[p] = 1;
     }
   }
   HCSCHED_METRIC_COUNT("hcsched_fastpath_rescores_total",

@@ -1,0 +1,10 @@
+#include "heuristics/fastpath/workspace.hpp"
+
+namespace hcsched::heuristics::fastpath {
+
+Workspace& thread_workspace() noexcept {
+  thread_local Workspace workspace;
+  return workspace;
+}
+
+}  // namespace hcsched::heuristics::fastpath

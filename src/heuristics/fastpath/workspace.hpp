@@ -1,0 +1,33 @@
+// Per-thread kernel workspace: the typed bump pools (arena.hpp) plus a
+// capacity-reusing scratch EtcView, one instance per thread.
+//
+// A kernel invocation is one trial's worth of per-task state; the workspace
+// is what batches trials. Each kernel begins by reset()-ing the pools to
+// the trial's exact element counts and carving its structure-of-arrays
+// slices from them; on the second and every later trial of a study cell the
+// backing vectors already have the capacity, so steady-state kernel
+// execution performs zero heap allocations (the TieBreaker's own resolve
+// buffer excepted — both paths share that cost). Thread-locality makes the
+// study driver's worker pool safe with no locks and no false sharing.
+#pragma once
+
+#include <cstdint>
+
+#include "heuristics/fastpath/arena.hpp"
+#include "heuristics/fastpath/etc_view.hpp"
+
+namespace hcsched::heuristics::fastpath {
+
+struct Workspace {
+  BumpPool<double> doubles;
+  BumpPool<std::uint32_t> indices;
+  BumpPool<std::size_t> positions;
+  BumpPool<unsigned char> flags;
+  /// Local gather target when no iterative reuse view is active.
+  EtcView scratch_view;
+};
+
+/// This thread's workspace (thread_local, created on first use).
+Workspace& thread_workspace() noexcept;
+
+}  // namespace hcsched::heuristics::fastpath

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "heuristics/fastpath/fastpath.hpp"
+
 namespace hcsched::heuristics {
 
 Kpb::Kpb(double k_percent) : k_percent_(k_percent) {
@@ -19,15 +21,14 @@ std::size_t Kpb::subset_size(std::size_t machines) const noexcept {
   return std::max<std::size_t>(1, k);
 }
 
-Schedule Kpb::do_map(const Problem& problem, TieBreaker& ties) const {
-  return map_traced(problem, ties, nullptr);
-}
+namespace detail {
 
-Schedule Kpb::map_traced(const Problem& problem, TieBreaker& ties,
-                         std::vector<KpbStep>* trace) const {
+Schedule kpb_reference(const Problem& problem, TieBreaker& ties,
+                       std::size_t subset_size,
+                       std::vector<KpbStep>* trace) {
   Schedule schedule(problem);
   std::vector<double> ready = problem.initial_ready_times();
-  const std::size_t k = subset_size(problem.num_machines());
+  const std::size_t k = subset_size;
 
   std::vector<std::size_t> slots(problem.num_machines());
   std::vector<double> subset_ct(k);
@@ -61,6 +62,21 @@ Schedule Kpb::map_traced(const Problem& problem, TieBreaker& ties,
     }
   }
   return schedule;
+}
+
+}  // namespace detail
+
+Schedule Kpb::do_map(const Problem& problem, TieBreaker& ties) const {
+  return map_traced(problem, ties, nullptr);
+}
+
+Schedule Kpb::map_traced(const Problem& problem, TieBreaker& ties,
+                         std::vector<KpbStep>* trace) const {
+  const std::size_t k = subset_size(problem.num_machines());
+  if (fastpath::enabled()) {
+    return fastpath::kpb_fast(problem, ties, k, trace);
+  }
+  return detail::kpb_reference(problem, ties, k, trace);
 }
 
 }  // namespace hcsched::heuristics

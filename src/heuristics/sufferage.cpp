@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "heuristics/fastpath/fastpath.hpp"
+
 namespace hcsched::heuristics {
 
 namespace {
@@ -30,12 +32,11 @@ BestTwo best_two(const std::vector<double>& scores, TieBreaker& ties) {
 
 }  // namespace
 
-Schedule Sufferage::do_map(const Problem& problem, TieBreaker& ties) const {
-  return map_traced(problem, ties, nullptr);
-}
+namespace detail {
 
-Schedule Sufferage::map_traced(const Problem& problem, TieBreaker& ties,
-                               std::vector<SufferageStep>* trace) const {
+Schedule sufferage_reference(const Problem& problem, TieBreaker& ties,
+                             SufferageRequeue requeue,
+                             std::vector<SufferageStep>* trace) {
   Schedule schedule(problem);
   std::vector<double> ready = problem.initial_ready_times();
   std::vector<TaskId> pending = problem.tasks();
@@ -86,7 +87,7 @@ Schedule Sufferage::map_traced(const Problem& problem, TieBreaker& ties,
       }
     }
 
-    if (requeue_ == SufferageRequeue::kOriginalOrder) {
+    if (requeue == SufferageRequeue::kOriginalOrder) {
       std::sort(next_round.begin(), next_round.end(),
                 [&](TaskId a, TaskId b) {
                   return position[static_cast<std::size_t>(a)] <
@@ -96,6 +97,20 @@ Schedule Sufferage::map_traced(const Problem& problem, TieBreaker& ties,
     pending = std::move(next_round);
   }
   return schedule;
+}
+
+}  // namespace detail
+
+Schedule Sufferage::do_map(const Problem& problem, TieBreaker& ties) const {
+  return map_traced(problem, ties, nullptr);
+}
+
+Schedule Sufferage::map_traced(const Problem& problem, TieBreaker& ties,
+                               std::vector<SufferageStep>* trace) const {
+  if (fastpath::enabled()) {
+    return fastpath::sufferage_fast(problem, ties, requeue_, trace);
+  }
+  return detail::sufferage_reference(problem, ties, requeue_, trace);
 }
 
 }  // namespace hcsched::heuristics

@@ -58,4 +58,14 @@ class Sufferage final : public Heuristic {
   SufferageRequeue requeue_;
 };
 
+namespace detail {
+/// The reference pass loop: full best/second-best rescore of every pending
+/// task each pass. Always available — the oracle the differential suite
+/// compares fastpath::sufferage_fast against, and the path dispatched to
+/// when the fast path is disabled.
+Schedule sufferage_reference(const Problem& problem, TieBreaker& ties,
+                             SufferageRequeue requeue,
+                             std::vector<SufferageStep>* trace);
+}  // namespace detail
+
 }  // namespace hcsched::heuristics

@@ -51,6 +51,14 @@ class Swa final : public Heuristic {
   double high_;
 };
 
+namespace detail {
+/// The reference loop: min/max ready-time scan plus a full score vector per
+/// task. Always available — the oracle for fastpath::swa_fast and the
+/// dispatch target when the fast path is disabled.
+Schedule swa_reference(const Problem& problem, TieBreaker& ties, double low,
+                       double high, std::vector<SwaStep>* trace);
+}  // namespace detail
+
 const char* to_string(SwaMode mode) noexcept;
 
 }  // namespace hcsched::heuristics

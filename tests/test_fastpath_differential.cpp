@@ -1,20 +1,28 @@
-// Differential suite for the incremental two-phase greedy kernel.
+// Differential suite for the incremental fastpath kernels.
 //
 // The fast path (src/heuristics/fastpath/) must be *indistinguishable* from
-// the reference loop except for doing less work: identical assignment
+// the reference loops except for doing less work: identical assignment
 // sequences, completion-time vectors, TieBreaker decision/tie-event counts
 // and RNG/script consumption, under every tie policy and consistency class.
 // This file is the enforcement: seeded fuzz sweeps through
-// run_differential_case (shared with tools/fuzz/fastpath_fuzz.cpp), golden
-// pins against the paper's worked examples, a regression pinning the
-// reference's load-bearing phase-two list order, and the switch surface
-// itself. docs/FASTPATH.md documents the invariant being tested.
+// run_differential_case (shared with tools/fuzz/fastpath_fuzz.cpp) over
+// EVERY row of the fastpath dispatch table — the covered-heuristic set is
+// derived from kernel_table(), never hardcoded, so registering a kernel
+// automatically enrolls it here — plus whole-minimizer iterative
+// differentials, non-default-knob trace comparisons, golden pins against
+// the paper's worked examples, a regression pinning the reference's
+// load-bearing phase-two list order, and the switch surface itself.
+// docs/FASTPATH.md documents the invariant being tested.
 //
 // covers: fastpath.cpp etc_view.cpp two_phase_fast.cpp differential.cpp
+// minscan.cpp arena.hpp workspace.cpp reuse.cpp sufferage_fast.cpp
+// kpb_fast.cpp swa_fast.cpp kernel_table.cpp
 // (stems named for the fastpath-differential lint rule)
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "core/iterative.hpp"
@@ -26,8 +34,11 @@
 #include "heuristics/fastpath/differential.hpp"
 #include "heuristics/fastpath/etc_view.hpp"
 #include "heuristics/fastpath/fastpath.hpp"
+#include "heuristics/kpb.hpp"
 #include "heuristics/minmin.hpp"
 #include "heuristics/registry.hpp"
+#include "heuristics/sufferage.hpp"
+#include "heuristics/swa.hpp"
 #include "obs/counters.hpp"
 #include "rng/rng.hpp"
 #include "rng/tie_break.hpp"
@@ -37,6 +48,8 @@ namespace {
 namespace fastpath = hcsched::heuristics::fastpath;
 using fastpath::DifferentialCase;
 using fastpath::DifferentialOutcome;
+using fastpath::Kernel;
+using fastpath::KernelInfo;
 using fastpath::Mode;
 using fastpath::ScopedMode;
 using hcsched::etc::Consistency;
@@ -53,23 +66,23 @@ constexpr Consistency kConsistencies[] = {
     Consistency::kInconsistent,
 };
 
-/// Sweeps seeds x consistency classes x {Min-Min, Max-Min} for one tie
-/// policy, with problem sizes derived from the seed (8..64 tasks on 2..15
-/// machines), and asserts zero divergence. Returns the number of cases run
-/// so the suite can prove its own breadth.
+/// Sweeps seeds x consistency classes x every dispatch-table kernel for one
+/// tie policy, with problem sizes derived from the seed (8..64 tasks on
+/// 2..15 machines), and asserts zero divergence. Returns the number of
+/// cases run so the suite can prove its own breadth.
 std::size_t sweep_policy(TiePolicy policy, bool subset,
                          std::size_t num_seeds) {
   std::size_t cases = 0;
   for (std::uint64_t seed = 1; seed <= num_seeds; ++seed) {
     for (const Consistency consistency : kConsistencies) {
-      for (const bool prefer_largest : {false, true}) {
+      for (const KernelInfo& info : fastpath::kernel_table()) {
         DifferentialCase c;
         c.seed = seed * 1000003 + static_cast<std::uint64_t>(consistency);
         c.tasks = 8 + (seed * 7) % 57;
         c.machines = 2 + (seed * 3) % 14;
         c.consistency = consistency;
         c.policy = policy;
-        c.prefer_largest = prefer_largest;
+        c.kernel = info.kernel;
         c.subset = subset;
         const DifferentialOutcome outcome =
             fastpath::run_differential_case(c);
@@ -82,65 +95,124 @@ std::size_t sweep_policy(TiePolicy policy, bool subset,
   return cases;
 }
 
-// Together the three sweeps run 450 full-problem trials (25 seeds x 3
-// consistency classes x 2 heuristics x 3 policies), clearing the >= 200
-// trial / >= 2 class / >= 2 policy bar with margin.
+// Together the three sweeps run 1125 full-problem trials (25 seeds x 3
+// consistency classes x 5 dispatch-table kernels x 3 policies), clearing
+// the >= 200 trial / >= 2 class / >= 2 policy bar with margin. The counts
+// are asserted against the table size so a kernel registration widens the
+// sweep (and shows up here) automatically.
 
 TEST(FastpathDifferential, DeterministicTiesFullProblems) {
   EXPECT_EQ(sweep_policy(TiePolicy::kDeterministic, /*subset=*/false, 25),
-            150u);
+            25u * 3u * fastpath::kernel_table().size());
 }
 
 TEST(FastpathDifferential, RandomTiesFullProblems) {
   // Random ties are the hard case: a skipped or extra RNG draw anywhere
   // desynchronizes every later decision, so equivalence here proves the
   // replay bookkeeping exactly matches the reference's.
-  EXPECT_EQ(sweep_policy(TiePolicy::kRandom, /*subset=*/false, 25), 150u);
+  EXPECT_EQ(sweep_policy(TiePolicy::kRandom, /*subset=*/false, 25),
+            25u * 3u * fastpath::kernel_table().size());
 }
 
 TEST(FastpathDifferential, ScriptedTiesFullProblems) {
-  EXPECT_EQ(sweep_policy(TiePolicy::kScripted, /*subset=*/false, 25), 150u);
+  EXPECT_EQ(sweep_policy(TiePolicy::kScripted, /*subset=*/false, 25),
+            25u * 3u * fastpath::kernel_table().size());
 }
 
 TEST(FastpathDifferential, SubsetProblemsWithNonzeroReadyTimes) {
   // Task/machine subsets with nonzero initial ready times — the shape the
   // iterative technique feeds the heuristics after removing machines.
   EXPECT_EQ(sweep_policy(TiePolicy::kDeterministic, /*subset=*/true, 10),
-            60u);
-  EXPECT_EQ(sweep_policy(TiePolicy::kRandom, /*subset=*/true, 10), 60u);
+            10u * 3u * fastpath::kernel_table().size());
+  EXPECT_EQ(sweep_policy(TiePolicy::kRandom, /*subset=*/true, 10),
+            10u * 3u * fastpath::kernel_table().size());
 }
 
 TEST(FastpathDifferential, NarrowEpsilonManufacturesManyTies) {
   // Large v_task/v_machine CVB draws rarely tie to 1e-9; integer-valued
   // matrices (v -> small, rounded means) tie constantly. Exercise the tied
-  // regime explicitly: small mean forces coincident completion times.
+  // regime explicitly for every kernel: small mean forces coincident
+  // completion times.
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {
     for (const auto policy : {TiePolicy::kDeterministic, TiePolicy::kRandom,
                               TiePolicy::kScripted}) {
-      DifferentialCase c;
-      c.seed = seed;
-      c.tasks = 20;
-      c.machines = 4;
-      c.policy = policy;
-      c.mean_task_time = 3.0;  // CVB rounds to a handful of distinct values
-      c.v_task = 0.3;
-      c.v_machine = 0.3;
-      const DifferentialOutcome outcome = fastpath::run_differential_case(c);
-      EXPECT_TRUE(outcome.equivalent)
-          << fastpath::describe(c) << ": " << outcome.divergence;
+      for (const KernelInfo& info : fastpath::kernel_table()) {
+        DifferentialCase c;
+        c.seed = seed;
+        c.tasks = 20;
+        c.machines = 4;
+        c.policy = policy;
+        c.kernel = info.kernel;
+        c.mean_task_time = 3.0;  // CVB rounds to a handful of distinct values
+        c.v_task = 0.3;
+        c.v_machine = 0.3;
+        const DifferentialOutcome outcome =
+            fastpath::run_differential_case(c);
+        EXPECT_TRUE(outcome.equivalent)
+            << fastpath::describe(c) << ": " << outcome.divergence;
+      }
     }
+  }
+}
+
+TEST(FastpathDifferential, IterativeLoopIdenticalForEveryKernel) {
+  // Whole-minimizer differential: run_iterative with fastpath off vs on
+  // (which also toggles the incremental machine-removal reuse context) must
+  // produce identical trajectories — every iteration's full mapping,
+  // makespan machine cut points, and the final finishing-time table — for
+  // every dispatch-table kernel under both deterministic and random ties.
+  for (const KernelInfo& info : fastpath::kernel_table()) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      for (const auto policy :
+           {TiePolicy::kDeterministic, TiePolicy::kRandom}) {
+        DifferentialCase c;
+        c.seed = seed * 7919;
+        c.tasks = 24 + (seed * 5) % 17;
+        c.machines = 5 + seed % 4;
+        c.consistency = kConsistencies[seed % 3];
+        c.policy = policy;
+        c.kernel = info.kernel;
+        c.iterative = true;
+        const DifferentialOutcome outcome =
+            fastpath::run_differential_case(c);
+        EXPECT_TRUE(outcome.equivalent)
+            << fastpath::describe(c) << ": " << outcome.divergence;
+      }
+    }
+  }
+}
+
+TEST(FastpathDifferential, DispatchTableIsCompleteAndRegistryBacked) {
+  // The table is the source of truth for differential/fuzz/bench coverage:
+  // every Kernel enum value resolves, names are unique, and each name is a
+  // canonical registry spelling (the iterative differential constructs
+  // heuristics by table name).
+  const auto table = fastpath::kernel_table();
+  ASSERT_EQ(table.size(), 5u);
+  std::set<std::string> names;
+  for (const KernelInfo& info : table) {
+    const KernelInfo* found = fastpath::find_kernel(info.kernel);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name, info.name);
+    EXPECT_NE(info.reference, nullptr);
+    EXPECT_NE(info.fast, nullptr);
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate kernel name " << info.name;
+    EXPECT_NE(hcsched::heuristics::make_heuristic(info.name), nullptr)
+        << info.name;
   }
 }
 
 #if HCSCHED_TRACE
 TEST(FastpathDifferential, KernelEvaluatesStrictlyFewerEtcCells) {
-  // The point of the kernel: same output, fewer scored cells. On a
-  // non-trivial instance the reference charges rounds x tasks x machines
+  // The point of the two-phase kernel: same output, fewer scored cells. On
+  // a non-trivial instance the reference charges rounds x tasks x machines
   // while the kernel only rescores invalidated tasks.
   DifferentialCase c;
   c.seed = 42;
   c.tasks = 96;
   c.machines = 16;
+  c.kernel = Kernel::kMinMin;
   const DifferentialOutcome outcome = fastpath::run_differential_case(c);
   ASSERT_TRUE(outcome.equivalent) << outcome.divergence;
   EXPECT_GT(outcome.reference_cell_evals, 0u);
@@ -148,19 +220,150 @@ TEST(FastpathDifferential, KernelEvaluatesStrictlyFewerEtcCells) {
 }
 #endif
 
+/// Assignment-sequence and completion-time equality for the non-default-
+/// knob comparisons below (the table adapters only cover default knobs).
+void expect_same_schedule(const Schedule& ref, const Schedule& fast,
+                          const std::string& what) {
+  const auto& ref_order = ref.assignment_order();
+  const auto& fast_order = fast.assignment_order();
+  ASSERT_EQ(ref_order.size(), fast_order.size()) << what;
+  for (std::size_t i = 0; i < ref_order.size(); ++i) {
+    EXPECT_TRUE(ref_order[i] == fast_order[i])
+        << what << ": assignment " << i;
+  }
+  EXPECT_EQ(ref.completion_times_by_slot(), fast.completion_times_by_slot())
+      << what;
+}
+
+EtcMatrix cvb_matrix(std::uint64_t seed, std::size_t tasks,
+                     std::size_t machines, double mean = 100.0) {
+  hcsched::etc::CvbParams params;
+  params.num_tasks = tasks;
+  params.num_machines = machines;
+  params.mean_task_time = mean;
+  Rng rng(seed);
+  return hcsched::etc::CvbEtcGenerator(params).generate(rng);
+}
+
+TEST(FastpathDifferential, SufferageEncounterOrderRequeueMatchesReference) {
+  // The table adapter runs the default kOriginalOrder requeue; the EXT-7d
+  // ablation knob must match too, including the pass-by-pass commit trace.
+  namespace h = hcsched::heuristics;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const EtcMatrix m = cvb_matrix(seed, 30, 6, seed % 2 == 0 ? 3.0 : 100.0);
+    const Problem problem = Problem::full(m);
+    Rng ref_rng(seed * 13);
+    Rng fast_rng(seed * 13);
+    TieBreaker ref_ties(ref_rng);
+    TieBreaker fast_ties(fast_rng);
+    std::vector<h::SufferageStep> ref_trace;
+    std::vector<h::SufferageStep> fast_trace;
+    const Schedule ref = h::detail::sufferage_reference(
+        problem, ref_ties, h::SufferageRequeue::kEncounterOrder, &ref_trace);
+    const Schedule fast = fastpath::sufferage_fast(
+        problem, fast_ties, h::SufferageRequeue::kEncounterOrder,
+        &fast_trace);
+    expect_same_schedule(ref, fast,
+                         "sufferage encounter-order seed " +
+                             std::to_string(seed));
+    EXPECT_EQ(ref_ties.decisions(), fast_ties.decisions());
+    EXPECT_EQ(ref_ties.tie_events(), fast_ties.tie_events());
+    ASSERT_EQ(ref_trace.size(), fast_trace.size());
+    for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+      EXPECT_EQ(ref_trace[i].pass, fast_trace[i].pass) << i;
+      EXPECT_EQ(ref_trace[i].task, fast_trace[i].task) << i;
+      EXPECT_EQ(ref_trace[i].machine, fast_trace[i].machine) << i;
+      EXPECT_EQ(ref_trace[i].min_ct, fast_trace[i].min_ct) << i;
+      EXPECT_EQ(ref_trace[i].sufferage, fast_trace[i].sufferage) << i;
+    }
+  }
+}
+
+TEST(FastpathDifferential, KpbNonDefaultPercentMatchesReferenceWithTrace) {
+  // k = 40% (subset of 2 on 6 machines) and k = 100% (degenerates to MCT):
+  // the kernel's partial_sort prefix must equal the reference's stable-sort
+  // prefix, machine-for-machine, in the trace's subset column.
+  namespace h = hcsched::heuristics;
+  for (const double k_percent : {40.0, 100.0}) {
+    const h::Kpb kpb(k_percent);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const EtcMatrix m =
+          cvb_matrix(seed, 30, 6, seed % 2 == 0 ? 3.0 : 100.0);
+      const Problem problem = Problem::full(m);
+      const std::size_t k = kpb.subset_size(problem.num_machines());
+      Rng ref_rng(seed * 17);
+      Rng fast_rng(seed * 17);
+      TieBreaker ref_ties(ref_rng);
+      TieBreaker fast_ties(fast_rng);
+      std::vector<h::KpbStep> ref_trace;
+      std::vector<h::KpbStep> fast_trace;
+      const Schedule ref =
+          h::detail::kpb_reference(problem, ref_ties, k, &ref_trace);
+      const Schedule fast =
+          fastpath::kpb_fast(problem, fast_ties, k, &fast_trace);
+      expect_same_schedule(ref, fast,
+                           "kpb k=" + std::to_string(k_percent) + " seed " +
+                               std::to_string(seed));
+      EXPECT_EQ(ref_ties.decisions(), fast_ties.decisions());
+      EXPECT_EQ(ref_ties.tie_events(), fast_ties.tie_events());
+      ASSERT_EQ(ref_trace.size(), fast_trace.size());
+      for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+        EXPECT_EQ(ref_trace[i].task, fast_trace[i].task) << i;
+        EXPECT_EQ(ref_trace[i].machine, fast_trace[i].machine) << i;
+        EXPECT_EQ(ref_trace[i].completion, fast_trace[i].completion) << i;
+        EXPECT_EQ(ref_trace[i].subset, fast_trace[i].subset) << i;
+      }
+    }
+  }
+}
+
+TEST(FastpathDifferential, SwaNonDefaultThresholdsMatchReferenceWithTrace) {
+  // Tight thresholds force frequent MCT<->MET switching; the kernel's
+  // incrementally-maintained balance index must reproduce the reference's
+  // recomputed one exactly (same doubles), or the mode column diverges.
+  namespace h = hcsched::heuristics;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const EtcMatrix m = cvb_matrix(seed, 30, 6);
+    const Problem problem = Problem::full(m);
+    Rng ref_rng(seed * 19);
+    Rng fast_rng(seed * 19);
+    TieBreaker ref_ties(ref_rng);
+    TieBreaker fast_ties(fast_rng);
+    std::vector<h::SwaStep> ref_trace;
+    std::vector<h::SwaStep> fast_trace;
+    const Schedule ref =
+        h::detail::swa_reference(problem, ref_ties, 0.6, 0.75, &ref_trace);
+    const Schedule fast =
+        fastpath::swa_fast(problem, fast_ties, 0.6, 0.75, &fast_trace);
+    expect_same_schedule(ref, fast,
+                         "swa tight thresholds seed " +
+                             std::to_string(seed));
+    EXPECT_EQ(ref_ties.decisions(), fast_ties.decisions());
+    EXPECT_EQ(ref_ties.tie_events(), fast_ties.tie_events());
+    ASSERT_EQ(ref_trace.size(), fast_trace.size());
+    for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+      EXPECT_EQ(ref_trace[i].task, fast_trace[i].task) << i;
+      EXPECT_EQ(ref_trace[i].machine, fast_trace[i].machine) << i;
+      EXPECT_EQ(ref_trace[i].completion, fast_trace[i].completion) << i;
+      EXPECT_EQ(ref_trace[i].balance_index, fast_trace[i].balance_index)
+          << i;
+      EXPECT_EQ(ref_trace[i].mode, fast_trace[i].mode) << i;
+    }
+  }
+}
+
 TEST(FastpathDifferential, IterativeTechniqueIdenticalUnderBothPaths) {
-  // End-to-end through core::IterativeMinimizer: the full iterative
-  // technique (machine removal, seeding off as in the paper's greedy
-  // protocol) must produce identical trajectories whichever path maps.
-  for (const char* name : {"Min-Min", "Max-Min", "Duplex"}) {
+  // End-to-end through core::IterativeMinimizer by registry name: every
+  // dispatch-table heuristic plus Duplex (which runs both two-phase kernels
+  // internally and so exercises dispatch without a table row of its own).
+  std::vector<std::string> names;
+  for (const KernelInfo& info : fastpath::kernel_table()) {
+    names.push_back(info.name);
+  }
+  names.push_back("Duplex");
+  for (const std::string& name : names) {
     for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-      hcsched::etc::CvbParams params;
-      params.num_tasks = 40;
-      params.num_machines = 8;
-      params.mean_task_time = 100.0;
-      Rng rng(seed);
-      const EtcMatrix matrix = hcsched::etc::CvbEtcGenerator(params)
-                                   .generate(rng);
+      const EtcMatrix matrix = cvb_matrix(seed, 40, 8);
       const Problem problem = Problem::full(matrix);
       const auto heuristic = hcsched::heuristics::make_heuristic(name);
       const hcsched::core::IterativeMinimizer minimizer;
@@ -195,9 +398,9 @@ TEST(FastpathDifferential, IterativeTechniqueIdenticalUnderBothPaths) {
 
 TEST(FastpathDifferential, PaperExamplesGoldenPinsUnderFastpath) {
   // The paper's worked examples (Tables 1-17) are the repo's ground truth;
-  // they must keep matching with the kernel forced on. Only the Min-Min
-  // example dispatches through the kernel, but running all six keeps this a
-  // pin on the whole dispatch surface.
+  // they must keep matching with the kernels forced on. Min-Min, Max-Min,
+  // Sufferage, KPB and SWA all dispatch through kernels now, so this pins
+  // the whole dispatch surface against hand-checked tables.
   const ScopedMode scope(Mode::kForceOn);
   for (const auto& example : hcsched::core::all_paper_examples()) {
     const auto result = hcsched::core::run_paper_example(example);
@@ -246,6 +449,30 @@ TEST(FastpathDifferential, EtcViewIsVerbatimCopyOfProblemCells) {
   ASSERT_EQ(view.num_slots(), 2u);
   EXPECT_EQ(view.row(0)[0], 8.0);
   EXPECT_EQ(view.row(0)[1], 6.5);
+}
+
+TEST(FastpathDifferential, EtcViewCompactEqualsFreshGatherOfShrunkProblem) {
+  // compact() is the iterative technique's machine-removal step: dropping a
+  // machine column and the rows of the removed iteration's surviving-task
+  // complement must leave exactly the view a fresh gather of the shrunk
+  // problem would build.
+  const EtcMatrix m = cvb_matrix(11, 7, 5);
+  const Problem before(m, {0, 1, 2, 3, 4, 5, 6}, {0, 1, 2, 3, 4},
+                       {0.0, 0.0, 0.0, 0.0, 0.0});
+  fastpath::EtcView view(before);
+  // Drop machine slot 2 and task positions {1, 4} (tasks 1 and 4).
+  const std::size_t drop_rows[] = {1, 4};
+  view.compact(2, drop_rows);
+  const Problem after(m, {0, 2, 3, 5, 6}, {0, 1, 3, 4}, {0.0, 0.0, 0.0, 0.0});
+  const fastpath::EtcView fresh(after);
+  ASSERT_EQ(view.num_tasks(), fresh.num_tasks());
+  ASSERT_EQ(view.num_slots(), fresh.num_slots());
+  for (std::size_t p = 0; p < fresh.num_tasks(); ++p) {
+    for (std::size_t s = 0; s < fresh.num_slots(); ++s) {
+      EXPECT_EQ(view.row(p)[s], fresh.row(p)[s]) << "row " << p << " slot "
+                                                 << s;
+    }
+  }
 }
 
 TEST(FastpathSwitch, EnvValueParsing) {

@@ -15,6 +15,8 @@
 #include "heuristics/minmin.hpp"
 #include "heuristics/olb.hpp"
 #include "heuristics/registry.hpp"
+#include "heuristics/sufferage.hpp"
+#include "heuristics/swa.hpp"
 #include "rng/rng.hpp"
 #include "sched/validate.hpp"
 
@@ -190,6 +192,122 @@ TEST(TwoPhaseGreedyInvariants, MinMinRoundBestCompletionTimesMonotone) {
       for (std::size_t i = 1; i < order.size(); ++i) {
         EXPECT_GE(order[i].finish, order[i - 1].finish - 1e-9)
             << "seed " << seed << " assignment " << i;
+      }
+    }
+  }
+}
+
+TEST(SufferageInvariants, SufferageValuesNonNegativeUnderBothPaths) {
+  // A task's sufferage is second-best CT minus best CT, so it can never be
+  // negative, and with a single machine it is defined as 0 (sufferage.hpp).
+  // Checked through the commit trace with the kernel dispatched both ways.
+  using hcsched::heuristics::fastpath::Mode;
+  using hcsched::heuristics::fastpath::ScopedMode;
+  const hcsched::heuristics::Sufferage sufferage;
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const ScopedMode scope(mode);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const EtcMatrix m = random_matrix(seed + 400, 28, 6);
+      TieBreaker ties;
+      std::vector<hcsched::heuristics::SufferageStep> trace;
+      const Schedule s =
+          sufferage.map_traced(Problem::full(m), ties, &trace);
+      EXPECT_TRUE(s.complete());
+      ASSERT_EQ(trace.size(), m.num_tasks());
+      for (const auto& step : trace) {
+        EXPECT_GE(step.sufferage, 0.0)
+            << "seed " << seed << " task " << step.task;
+        EXPECT_GE(step.min_ct, 0.0);
+      }
+    }
+    // Single machine: every sufferage is exactly 0.
+    const EtcMatrix narrow = random_matrix(3, 10, 1);
+    TieBreaker ties;
+    std::vector<hcsched::heuristics::SufferageStep> trace;
+    (void)sufferage.map_traced(Problem::full(narrow), ties, &trace);
+    for (const auto& step : trace) {
+      EXPECT_EQ(step.sufferage, 0.0) << "task " << step.task;
+    }
+  }
+}
+
+TEST(KpbInvariants, ChosenMachineInsideKPercentSubsetUnderBothPaths) {
+  // KPB may only assign inside the k-percent-best subset, the subset must
+  // have exactly max(1, floor(m*k/100)) distinct valid machines, and every
+  // subset member's ETC must be <= every non-member's ETC for that task.
+  using hcsched::heuristics::fastpath::Mode;
+  using hcsched::heuristics::fastpath::ScopedMode;
+  const hcsched::heuristics::Kpb kpb(70.0);
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const ScopedMode scope(mode);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const EtcMatrix m = random_matrix(seed + 500, 24, 6);
+      const Problem problem = Problem::full(m);
+      const std::size_t k = kpb.subset_size(problem.num_machines());
+      TieBreaker ties;
+      std::vector<hcsched::heuristics::KpbStep> trace;
+      const Schedule s = kpb.map_traced(problem, ties, &trace);
+      EXPECT_TRUE(s.complete());
+      ASSERT_EQ(trace.size(), m.num_tasks());
+      for (const auto& step : trace) {
+        ASSERT_EQ(step.subset.size(), k) << "task " << step.task;
+        EXPECT_NE(std::find(step.subset.begin(), step.subset.end(),
+                            step.machine),
+                  step.subset.end())
+            << "seed " << seed << " task " << step.task
+            << ": assigned machine outside the k-percent subset";
+        double worst_inside = 0.0;
+        for (const auto member : step.subset) {
+          worst_inside = std::max(worst_inside, m.at(step.task, member));
+        }
+        for (std::size_t slot = 0; slot < m.num_machines(); ++slot) {
+          const auto id = static_cast<hcsched::sched::MachineId>(slot);
+          if (std::find(step.subset.begin(), step.subset.end(), id) !=
+              step.subset.end()) {
+            continue;
+          }
+          EXPECT_GE(m.at(step.task, id) + 1e-12, worst_inside)
+              << "seed " << seed << " task " << step.task << ": machine "
+              << slot << " outside the subset beats a member";
+        }
+      }
+    }
+  }
+}
+
+TEST(SwaInvariants, BalanceIndexAndModeFollowHysteresisUnderBothPaths) {
+  // The balance index min(ready)/max(ready) lives in [0, 1]; the first task
+  // is mapped by MCT with no index; afterwards the mode follows the paper's
+  // hysteresis — above high switches to MET, below low back to MCT,
+  // in between the previous mode sticks.
+  using hcsched::heuristics::fastpath::Mode;
+  using hcsched::heuristics::fastpath::ScopedMode;
+  using hcsched::heuristics::SwaMode;
+  const hcsched::heuristics::Swa swa;  // defaults: low 0.35, high 0.49
+  for (const Mode mode : {Mode::kForceOff, Mode::kForceOn}) {
+    const ScopedMode scope(mode);
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const EtcMatrix m = random_matrix(seed + 600, 28, 5);
+      TieBreaker ties;
+      std::vector<hcsched::heuristics::SwaStep> trace;
+      const Schedule s = swa.map_traced(Problem::full(m), ties, &trace);
+      EXPECT_TRUE(s.complete());
+      ASSERT_EQ(trace.size(), m.num_tasks());
+      EXPECT_FALSE(trace.front().balance_index.has_value());
+      EXPECT_EQ(trace.front().mode, SwaMode::kMct);
+      SwaMode expected = SwaMode::kMct;
+      for (std::size_t i = 1; i < trace.size(); ++i) {
+        ASSERT_TRUE(trace[i].balance_index.has_value()) << "step " << i;
+        const double bi = *trace[i].balance_index;
+        EXPECT_GE(bi, 0.0) << "step " << i;
+        EXPECT_LE(bi, 1.0) << "step " << i;
+        if (bi > swa.high_threshold()) {
+          expected = SwaMode::kMet;
+        } else if (bi < swa.low_threshold()) {
+          expected = SwaMode::kMct;
+        }
+        EXPECT_EQ(trace[i].mode, expected) << "seed " << seed << " step "
+                                           << i;
       }
     }
   }

@@ -1,0 +1,25 @@
+// Fixture narrowing-in-kernel, vectorized-scan flavor: line 10 folds a
+// lane minimum (double) into a float and line 13 truncates a lane index
+// (std::size_t) to int — both pinned by ctest greps; the static_cast and
+// audited forms below must stay silent.
+#include <cstddef>
+
+namespace fixture::minscan {
+
+inline float merge_lanes(double lane_min, std::size_t lane_count) {
+  float folded = lane_min;
+  (void)folded;
+  std::size_t stride = lane_count * 4;
+  int slot = stride;
+  (void)slot;
+  float folded_ok = static_cast<float>(lane_min);
+  int slot_ok = static_cast<int>(stride);
+  (void)slot_ok;
+  // Audited escape (silent):
+  // lint:allow(narrowing)
+  int slot_allowed = stride;
+  (void)slot_allowed;
+  return folded + folded_ok;
+}
+
+}  // namespace fixture::minscan

@@ -1,5 +1,6 @@
-// Fixture differential suite: names covered_kernel and narrow_kernel so
-// the fastpath-differential rule treats those files as tested.
+// Fixture differential suite: names covered_kernel, narrow_kernel and
+// narrow_minscan so the fastpath-differential rule treats those files as
+// tested.
 //
-// covers: covered_kernel.cpp narrow_kernel.cpp
+// covers: covered_kernel.cpp narrow_kernel.cpp narrow_minscan.cpp
 int main() { return 0; }

@@ -13,10 +13,12 @@
 // may be mixed in one invocation; files validate left to right.
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "heuristics/fastpath/fastpath.hpp"
 #include "obs/json.hpp"
 
 namespace {
@@ -82,11 +84,13 @@ void check_fastpath(const JsonValue& root) {
           "expected \"fastpath_kernel\"");
   const auto& cells = array(root, "$", "cells");
   require(!cells.empty(), "$.cells", "expected at least one cell");
+  std::set<std::string> heuristics_seen;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const std::string where = "$.cells[" + std::to_string(i) + "]";
     const JsonValue& cell = cells[i];
     require(!str(cell, where, "heuristic").empty(), where + ".heuristic",
             "expected a non-empty heuristic name");
+    heuristics_seen.insert(str(cell, where, "heuristic"));
     require(num(cell, where, "tasks") > 0, where + ".tasks",
             "expected a positive task count");
     require(num(cell, where, "machines") > 0, where + ".machines",
@@ -99,6 +103,15 @@ void check_fastpath(const JsonValue& root) {
             "expected a positive ratio");
     const JsonValue& eq = field(cell, where, "equivalent");
     require(eq.is_bool(), where + ".equivalent", "expected a bool");
+  }
+  // Every fastpath-covered heuristic must have at least one row: the
+  // required set is the dispatch table itself (fastpath.hpp kernel_table()),
+  // so registering a kernel makes a stale committed baseline fail CI until
+  // the sweep is re-run.
+  for (const auto& info : hcsched::heuristics::fastpath::kernel_table()) {
+    require(heuristics_seen.count(info.name) != 0, "$.cells",
+            std::string("missing rows for fastpath-covered heuristic '") +
+                info.name + "'");
   }
 }
 

@@ -3,14 +3,19 @@
 //
 // Replays run_differential_case (the exact checks the unit suite in
 // tests/test_fastpath_differential.cpp pins) over a contiguous seed range,
-// deriving every case knob — size, consistency class, tie policy,
-// Min-Min/Max-Min, subset shape — from the seed itself. CI runs a bounded
-// smoke sweep on every push (ctest: fastpath_fuzz_smoke) and a wide sweep
-// nightly by raising HCSCHED_FUZZ_SEEDS; a divergence prints a one-line
-// repro that plugs straight back into the unit suite.
+// deriving every case knob — size, consistency class, tie policy, subset
+// shape — from the seed itself. The heuristic under test is a row of the
+// fastpath dispatch table (fastpath.hpp kernel_table()): the sweep
+// enumerates EVERY table row under every tie policy, plus subset cases and
+// whole-minimizer iterative cases, so registering a new kernel widens the
+// fuzz matrix without touching this file. CI runs a bounded smoke sweep on
+// every push (ctest: fastpath_fuzz_smoke) and a wide sweep nightly by
+// raising HCSCHED_FUZZ_SEEDS; a divergence prints a one-line repro that
+// plugs straight back into the unit suite.
 //
 // Usage: fastpath_fuzz [--seeds N] [--base B] [--verbose]
-//   --seeds N   number of seeds to sweep (default 256, 8 cases per seed)
+//   --seeds N   number of seeds to sweep (default 256; cases per seed =
+//               3 x kernel_table().size() + 4)
 //   --base B    first seed of the range (default 1)
 //   --verbose   print every case, not just failures
 // Environment (flags win): HCSCHED_FUZZ_SEEDS, HCSCHED_FUZZ_SEED_BASE.
@@ -30,9 +35,13 @@ namespace {
 
 namespace fastpath = hcsched::heuristics::fastpath;
 
-/// 8 case variations per seed: every tie policy on the full problem for
-/// both heuristics (6), plus a deterministic and a random subset case (2).
-constexpr std::size_t kCasesPerSeed = 8;
+/// Case variations per seed: every dispatch-table kernel under every tie
+/// policy on the full problem, plus a deterministic and a random subset
+/// case and a deterministic and a random iterative (whole-minimizer) case,
+/// each on a table-derived kernel.
+std::size_t cases_per_seed() {
+  return 3 * fastpath::kernel_table().size() + 4;
+}
 
 fastpath::DifferentialCase derive_case(std::uint64_t seed,
                                        std::size_t variation) {
@@ -40,6 +49,7 @@ fastpath::DifferentialCase derive_case(std::uint64_t seed,
   // sweep covers a spread of dimensions and CVB heterogeneity no fixed grid
   // would; the case seed stays equal to the sweep seed for repro lines.
   hcsched::rng::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const auto table = fastpath::kernel_table();
   fastpath::DifferentialCase c;
   c.seed = seed;
   c.tasks = 4 + static_cast<std::size_t>(rng.below(93));    // 4..96
@@ -57,25 +67,36 @@ fastpath::DifferentialCase derive_case(std::uint64_t seed,
     c.v_task = 0.3;
     c.v_machine = 0.3;
   }
-  switch (variation) {
+  const std::size_t full_grid = 3 * table.size();
+  if (variation < full_grid) {
+    c.kernel = table[variation / 3].kernel;
+    c.policy = static_cast<hcsched::rng::TiePolicy>(variation % 3);
+    return c;
+  }
+  // Subset and iterative variations pick their kernel from the seed stream
+  // so the whole table is exercised across a sweep.
+  c.kernel = table[rng.below(table.size())].kernel;
+  switch (variation - full_grid) {
     case 0:
-    case 1:
-    case 2:
-      c.policy = static_cast<hcsched::rng::TiePolicy>(variation);
-      break;
-    case 3:
-    case 4:
-    case 5:
-      c.policy = static_cast<hcsched::rng::TiePolicy>(variation - 3);
-      c.prefer_largest = true;
-      break;
-    case 6:
       c.subset = true;
       break;
-    default:
+    case 1:
       c.subset = true;
       c.policy = hcsched::rng::TiePolicy::kRandom;
       break;
+    case 2:
+      c.iterative = true;
+      break;
+    default:
+      c.iterative = true;
+      c.policy = hcsched::rng::TiePolicy::kRandom;
+      break;
+  }
+  if (c.iterative) {
+    // A whole-minimizer case runs up to `machines` full mappings per path;
+    // bound the shape so the sweep rate stays dominated by mapping cases.
+    c.tasks = 8 + c.tasks % 41;   // 8..48
+    c.machines = 2 + c.machines % 9;  // 2..10
   }
   return c;
 }
@@ -109,7 +130,8 @@ int main(int argc, char** argv) {
   std::size_t cases = 0;
   std::size_t divergences = 0;
   for (std::uint64_t seed = base; seed < base + seeds; ++seed) {
-    for (std::size_t variation = 0; variation < kCasesPerSeed; ++variation) {
+    for (std::size_t variation = 0; variation < cases_per_seed();
+         ++variation) {
       const fastpath::DifferentialCase c = derive_case(seed, variation);
       const fastpath::DifferentialOutcome outcome =
           fastpath::run_differential_case(c);
