@@ -1,0 +1,164 @@
+// EXT-11: local-search baselines (Levine-style descent + restarts) measured
+// by optimality gap against the exact/bound reference from core/bound.hpp.
+// Prints a per-class comparison against the two-phase greedy heuristics,
+// writes BENCH_localsearch.json (path overridable with --json-out <path>) —
+// the machine-readable record bench_check --localsearch validates in CI —
+// and registers latency benchmarks for the search itself.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/bound.hpp"
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "obs/json.hpp"
+#include "report/table.hpp"
+#include "rng/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using hcsched::core::gap_pct;
+using hcsched::core::gap_reference;
+using hcsched::core::GapReference;
+using hcsched::etc::Consistency;
+using hcsched::obs::JsonValue;
+using hcsched::report::TextTable;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+
+constexpr std::uint64_t kSeed = 20070326;
+constexpr std::size_t kTrials = 20;
+constexpr std::size_t kTasks = 10;
+constexpr std::size_t kMachines = 4;
+
+// The local-search family plus the two-phase greedy baselines it is
+// measured against — the required-row set of bench_check --localsearch.
+constexpr const char* kHeuristics[] = {"Local-Search", "Local-Search-FI",
+                                       "Min-Min", "Max-Min", "Duplex"};
+constexpr Consistency kClasses[] = {Consistency::kInconsistent,
+                                    Consistency::kSemiConsistent,
+                                    Consistency::kConsistent};
+
+// Returned by value: Problem is a view over an EtcMatrix, so callers hold
+// the matrix for the Problem's lifetime.
+hcsched::etc::EtcMatrix make_matrix(std::uint64_t trial,
+                                    Consistency consistency) {
+  Rng rng = Rng(kSeed).split(trial);
+  hcsched::etc::CvbParams params;
+  params.num_tasks = kTasks;
+  params.num_machines = kMachines;
+  return hcsched::etc::shape_consistency(
+      hcsched::etc::CvbEtcGenerator(params).generate(rng), consistency);
+}
+
+void run_sweep(const std::string& json_path) {
+  JsonValue::Array cells;
+  TextTable table({"class", "heuristic", "mean gap", "worst gap",
+                   "exact refs"});
+  for (const Consistency consistency : kClasses) {
+    std::vector<hcsched::sim::RunningStats> gaps(std::size(kHeuristics));
+    std::size_t exact_refs = 0;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      const hcsched::etc::EtcMatrix matrix = make_matrix(trial, consistency);
+      const Problem problem = Problem::full(matrix);
+      const GapReference reference = gap_reference(problem);
+      if (reference.exact) ++exact_refs;
+      for (std::size_t h = 0; h < std::size(kHeuristics); ++h) {
+        const auto heuristic =
+            hcsched::heuristics::make_heuristic(kHeuristics[h]);
+        TieBreaker ties;
+        gaps[h].add(gap_pct(heuristic->map(problem, ties).makespan(),
+                            reference));
+      }
+    }
+    for (std::size_t h = 0; h < std::size(kHeuristics); ++h) {
+      table.add_row({hcsched::etc::to_string(consistency), kHeuristics[h],
+                     TextTable::num(gaps[h].mean() * 100.0, 3) + "%",
+                     TextTable::num(gaps[h].max() * 100.0, 3) + "%",
+                     std::to_string(exact_refs) + "/" +
+                         std::to_string(kTrials)});
+      JsonValue::Object cell;
+      cell.emplace_back("heuristic", JsonValue(kHeuristics[h]));
+      cell.emplace_back("tasks", JsonValue(kTasks));
+      cell.emplace_back("machines", JsonValue(kMachines));
+      cell.emplace_back("consistency",
+                        JsonValue(hcsched::etc::to_string(consistency)));
+      cell.emplace_back("trials", JsonValue(kTrials));
+      cell.emplace_back("mean_gap_pct", JsonValue(gaps[h].mean() * 100.0));
+      cell.emplace_back("worst_gap_pct", JsonValue(gaps[h].max() * 100.0));
+      cell.emplace_back("exact_refs", JsonValue(exact_refs));
+      cells.emplace_back(std::move(cell));
+    }
+  }
+  std::printf(
+      "=== EXT-11 local-search gaps (%zu tasks x %zu machines, %zu trials "
+      "per class, BnB references) ===\n%s"
+      "Expected shape (Levine, arXiv 1312.6246): the descent family at or "
+      "below the best two-phase greedy gap on most cells.\n\n",
+      kTasks, kMachines, kTrials, table.to_string().c_str());
+  JsonValue::Object doc;
+  doc.emplace_back("bench", JsonValue("localsearch_gap"));
+  doc.emplace_back("tie_policy", JsonValue("deterministic"));
+  doc.emplace_back("seed", JsonValue(kSeed));
+  doc.emplace_back("cells", JsonValue(std::move(cells)));
+  std::ofstream out(json_path);
+  out << JsonValue(std::move(doc)).dump(2) << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
+void BM_LocalSearch(benchmark::State& state, const char* name) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  Rng rng(tasks);
+  hcsched::etc::CvbParams params;
+  params.num_tasks = tasks;
+  params.num_machines = 8;
+  const hcsched::etc::EtcMatrix matrix =
+      hcsched::etc::CvbEtcGenerator(params).generate(rng);
+  const Problem problem = Problem::full(matrix);
+  const auto heuristic = hcsched::heuristics::make_heuristic(name);
+  for (auto _ : state) {
+    TieBreaker ties;
+    benchmark::DoNotOptimize(heuristic->map(problem, ties).makespan());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tasks));
+}
+
+void register_benchmarks() {
+  for (const char* name : {"Local-Search", "Local-Search-FI", "Min-Min"}) {
+    benchmark::RegisterBenchmark(name, BM_LocalSearch, name)
+        ->Arg(32)
+        ->Arg(64)
+        ->Arg(128)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_localsearch.json";
+  // Strip --json-out before google-benchmark sees (and rejects) it.
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      argv[out_argc++] = argv[i];
+    }
+  }
+  run_sweep(json_path);
+  register_benchmarks();
+  benchmark::Initialize(&out_argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "core/bound.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/optimal.hpp"
+
+namespace hcsched::core {
+
+double preemptive_bound(const sched::Problem& problem) {
+  const std::size_t m = problem.num_machines();
+  if (m == 0) {
+    throw std::invalid_argument("preemptive_bound: no machines");
+  }
+  // LB2: the latest release time bounds every completion.
+  double latest_ready = 0.0;
+  double ready_sum = 0.0;
+  for (std::size_t slot = 0; slot < m; ++slot) {
+    const double r = problem.initial_ready(slot);
+    latest_ready = std::max(latest_ready, r);
+    ready_sum += r;
+  }
+  double bound = latest_ready;
+  // LB1 per task, and the summed min-ETC work for LB3.
+  double min_etc_sum = 0.0;
+  for (const auto task : problem.tasks()) {
+    double best_completion = problem.initial_ready(0) + problem.etc_at(task, 0);
+    double min_etc = problem.etc_at(task, 0);
+    for (std::size_t slot = 1; slot < m; ++slot) {
+      const double etc = problem.etc_at(task, slot);
+      best_completion =
+          std::min(best_completion, problem.initial_ready(slot) + etc);
+      min_etc = std::min(min_etc, etc);
+    }
+    bound = std::max(bound, best_completion);
+    min_etc_sum += min_etc;
+  }
+  // LB3: even preemptive, perfectly balanced work cannot finish earlier.
+  const double balanced = (ready_sum + min_etc_sum) / static_cast<double>(m);
+  return std::max(bound, balanced);
+}
+
+GapReference gap_reference(const sched::Problem& problem,
+                           const GapOptions& options) {
+  GapReference reference;
+  reference.value = preemptive_bound(problem);
+  if (problem.num_tasks() <= options.exact_max_tasks &&
+      problem.num_machines() <= options.exact_max_machines) {
+    OptimalOptions opt;
+    opt.node_limit = options.node_limit;
+    const OptimalResult result = solve_optimal(problem, opt);
+    reference.nodes_explored = result.nodes_explored;
+    if (result.proven_optimal) {
+      reference.value = result.makespan;
+      reference.exact = true;
+    }
+  }
+  return reference;
+}
+
+double gap_pct(double makespan, const GapReference& reference) {
+  if (reference.value <= 0.0) return 0.0;
+  return (makespan - reference.value) / reference.value;
+}
+
+}  // namespace hcsched::core

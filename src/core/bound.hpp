@@ -1,0 +1,60 @@
+// Admissible lower bounds on the optimal makespan — the other half of the
+// optimality-gap story (core/optimal.* supplies exact optima when the
+// instance is small enough; this module supplies a bound that is valid at
+// every size).
+//
+// `preemptive_bound` is the classic preemptive relaxation for R||Cmax with
+// machine ready times: the optimum can never beat
+//   * LB1: any single task run on its best machine
+//          max_t min_m (ready_m + etc(t, m)),
+//   * LB2: the latest machine release time  max_m ready_m,
+//   * LB3: perfectly balanced work  (sum_m ready_m + sum_t min_m etc) / |M|.
+// The maximum of the three is still admissible, so for every complete
+// schedule S of the instance:  preemptive_bound(p) <= makespan(S).
+//
+// `gap_reference` packages "the best reference value we can defend": the
+// exact optimum (BnB, proven within a node budget) on small instances,
+// falling back to the preemptive bound when the instance is too large or
+// the search is cut. `gap_pct` then turns a heuristic makespan into the
+// fractional optimality gap reported by study rows and the gap bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sched/problem.hpp"
+
+namespace hcsched::core {
+
+/// Admissible lower bound on the makespan of any complete schedule of
+/// `problem` (preemptive relaxation; see file comment). Throws
+/// std::invalid_argument when the problem has no machines.
+double preemptive_bound(const sched::Problem& problem);
+
+/// A defensible reference value for optimality-gap reporting.
+struct GapReference {
+  double value = 0.0;   ///< exact optimum, or the preemptive bound
+  bool exact = false;   ///< true when BnB proved `value` optimal
+  std::uint64_t nodes_explored = 0;  ///< BnB effort (0 when skipped)
+};
+
+struct GapOptions {
+  /// BnB is attempted only at or below these sizes; larger instances fall
+  /// back to the preemptive bound (exact == false).
+  std::size_t exact_max_tasks = 12;
+  std::size_t exact_max_machines = 6;
+  /// Node budget handed to solve_optimal; an unproven search falls back to
+  /// the preemptive bound rather than reporting an incumbent upper bound.
+  std::uint64_t node_limit = 2'000'000;
+};
+
+/// Best defensible reference for `problem` under `options`.
+GapReference gap_reference(const sched::Problem& problem,
+                           const GapOptions& options = {});
+
+/// Fractional optimality gap (makespan - reference) / reference.
+/// Degenerate zero-reference instances (no tasks, zero ready times) report
+/// a gap of 0. Exact references make this the true (makespan - opt)/opt.
+double gap_pct(double makespan, const GapReference& reference);
+
+}  // namespace hcsched::core

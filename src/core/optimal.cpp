@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/bound.hpp"
 #include "obs/counters.hpp"
 
 namespace hcsched::core {
@@ -20,7 +21,9 @@ struct Searcher {
   std::vector<std::uint32_t> assignment; // by task_order position
   std::vector<std::uint32_t> best_assignment;
   double best = std::numeric_limits<double>::infinity();
+  double root_lower_bound = 0.0;  // admissible; incumbent == bound -> done
   bool found_leaf = false;
+  bool bound_hit = false;
   bool complete = true;
   std::uint64_t nodes = 0;
 
@@ -34,6 +37,7 @@ struct Searcher {
   }
 
   void dfs(std::size_t depth, double current_max) {
+    if (bound_hit) return;  // incumbent already matches the lower bound
     HCSCHED_COUNT(obs::Counter::kSearchNodesExpanded);
     if (++nodes > options.node_limit) {
       complete = false;
@@ -44,6 +48,9 @@ struct Searcher {
       best = current_max;
       best_assignment = assignment;
       found_leaf = true;
+      // No schedule can beat the preemptive relaxation, so an incumbent on
+      // the bound is optimal and the remaining tree cannot improve on it.
+      if (best <= root_lower_bound + 1e-12) bound_hit = true;
       return;
     }
     // Lower bound: even perfectly balanced remaining work cannot win.
@@ -72,7 +79,7 @@ struct Searcher {
       assignment[depth] = static_cast<std::uint32_t>(slot);
       dfs(depth + 1, std::max(current_max, new_load));
       load[slot] = new_load - etc_value;
-      if (!complete) return;
+      if (!complete || bound_hit) return;
     }
   }
 };
@@ -107,6 +114,7 @@ OptimalResult solve_optimal(const sched::Problem& problem,
   search.load = problem.initial_ready_times();
   search.assignment.assign(n, 0);
   search.best_assignment.assign(n, 0);
+  search.root_lower_bound = preemptive_bound(problem);
   if (options.initial_upper_bound >= 0.0) {
     // Prune against the warm start; +epsilon so an equal solution is still
     // reconstructed by the search itself.
@@ -119,6 +127,7 @@ OptimalResult solve_optimal(const sched::Problem& problem,
   OptimalResult result;
   result.nodes_explored = search.nodes;
   result.proven_optimal = search.complete;
+  result.lower_bound = search.root_lower_bound;
   if (!search.found_leaf) {
     // Either the node limit was hit before any leaf, or a warm start was
     // supplied and nothing strictly better exists. Return a valid fallback

@@ -7,7 +7,10 @@
 //   * lower bound: remaining work / |M| plus the best per-task minimum ETC
 //                cannot beat the incumbent -> cut;
 //   * symmetry:  tasks are branched in descending order of minimum ETC
-//                (hardest first), machines in ascending current load.
+//                (hardest first), machines in ascending current load;
+//   * root bound: an incumbent that reaches the preemptive-relaxation
+//                lower bound (core/bound.hpp) ends the search immediately,
+//                still proven optimal.
 //
 // Exponential in general (the problem is NP-hard: R||Cmax); intended for
 // the small instances used by tests (optimal-vs-heuristic oracles) and the
@@ -27,6 +30,10 @@ struct OptimalResult {
   double makespan = 0.0;
   bool proven_optimal = false;  ///< search completed within the node limit
   std::uint64_t nodes_explored = 0;
+  /// Preemptive-relaxation lower bound at the root (core/bound.hpp).
+  /// Always admissible: lower_bound <= makespan of any complete schedule.
+  /// When an incumbent reaches it the search stops early, proven optimal.
+  double lower_bound = 0.0;
 };
 
 struct OptimalOptions {

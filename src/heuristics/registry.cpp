@@ -8,6 +8,7 @@
 #include "heuristics/duplex.hpp"
 #include "heuristics/gsa.hpp"
 #include "heuristics/kpb.hpp"
+#include "heuristics/localsearch/localsearch.hpp"
 #include "heuristics/mct.hpp"
 #include "heuristics/met.hpp"
 #include "heuristics/minmin.hpp"
@@ -63,6 +64,14 @@ std::unique_ptr<Heuristic> make_heuristic(std::string_view name) {
   if (key == "segmentedminmin" || key == "smm") {
     return std::make_unique<SegmentedMinMin>();
   }
+  if (key == "localsearch" || key == "ls") {
+    return std::make_unique<LocalSearch>();
+  }
+  if (key == "localsearchfi" || key == "lsfi") {
+    LocalSearchConfig config;
+    config.first_improvement = true;
+    return std::make_unique<LocalSearch>(config);
+  }
   if (key == "a*" || key == "astar") return std::make_unique<AStar>();
   throw std::invalid_argument("make_heuristic: unknown heuristic '" +
                               std::string(name) + "'");
@@ -87,8 +96,8 @@ std::vector<std::unique_ptr<Heuristic>> all_heuristics() {
 
 std::vector<std::unique_ptr<Heuristic>> extended_heuristics() {
   std::vector<std::unique_ptr<Heuristic>> out = all_heuristics();
-  for (const char* name :
-       {"SA", "GSA", "Tabu", "Segmented Min-Min", "A*"}) {
+  for (const char* name : {"SA", "GSA", "Tabu", "Segmented Min-Min", "A*",
+                           "Local-Search", "Local-Search-FI"}) {
     out.push_back(make_heuristic(name));
   }
   return out;
@@ -105,7 +114,8 @@ std::unique_ptr<Heuristic> make_seeded(std::string_view inner_name) {
 std::vector<std::string> known_heuristic_names() {
   return {"MET",     "MCT", "OLB",  "Min-Min", "Max-Min",
           "Duplex",  "Sufferage", "KPB", "SWA", "Genitor",
-          "SA",      "GSA", "Tabu", "Segmented Min-Min", "A*"};
+          "SA",      "GSA", "Tabu", "Segmented Min-Min", "A*",
+          "Local-Search", "Local-Search-FI"};
 }
 
 }  // namespace hcsched::heuristics

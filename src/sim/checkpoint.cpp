@@ -23,7 +23,7 @@ obs::JsonValue encode_records(const std::vector<TrialRecord>& records) {
   array.reserve(records.size());
   for (const TrialRecord& record : records) {
     obs::JsonValue::Object object;
-    object.reserve(7);
+    object.reserve(9);
     object.emplace_back("heuristic", obs::JsonValue(record.heuristic));
     object.emplace_back("improved", obs::JsonValue(record.machines_improved));
     object.emplace_back("unchanged", obs::JsonValue(record.machines_unchanged));
@@ -42,6 +42,10 @@ obs::JsonValue encode_records(const std::vector<TrialRecord>& records) {
                         obs::JsonValue(record.makespan_increased));
     object.emplace_back("original_makespan",
                         obs::JsonValue(record.original_makespan));
+    object.emplace_back("gap_pct", record.has_gap
+                                       ? obs::JsonValue(record.gap_pct)
+                                       : obs::JsonValue(nullptr));
+    object.emplace_back("gap_exact", obs::JsonValue(record.gap_exact));
     array.emplace_back(std::move(object));
   }
   return obs::JsonValue(std::move(array));
@@ -68,6 +72,19 @@ std::size_t as_size(const obs::JsonValue& v) {
   return static_cast<std::size_t>(d);
 }
 
+/// Tolerant lookup for fields added after v1. Unlike `.at()` — whose throw
+/// marks the whole line corrupt — an absent key returns nullptr, so lines
+/// written before the field existed still decode (the field reads as "not
+/// recorded", matching the header's "unknown keys are ignored" promise in
+/// the other direction).
+const obs::JsonValue* find_field(const obs::JsonValue& item,
+                                 std::string_view key) {
+  for (const auto& [name, value] : item.as_object()) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
 std::vector<TrialRecord> decode_records(const obs::JsonValue& value) {
   std::vector<TrialRecord> records;
   records.reserve(value.as_array().size());
@@ -89,6 +106,15 @@ std::vector<TrialRecord> decode_records(const obs::JsonValue& value) {
     }
     record.makespan_increased = item.at("makespan_increased").as_bool();
     record.original_makespan = item.at("original_makespan").as_number();
+    if (const obs::JsonValue* gap = find_field(item, "gap_pct");
+        gap != nullptr && !gap->is_null()) {
+      record.has_gap = true;
+      record.gap_pct = gap->as_number();
+    }
+    if (const obs::JsonValue* exact = find_field(item, "gap_exact");
+        exact != nullptr) {
+      record.gap_exact = exact->as_bool();
+    }
     records.push_back(std::move(record));
   }
   return records;

@@ -85,6 +85,16 @@ TrialOutcome run_one_trial(
   }
   const sched::Problem problem = sched::Problem::full(*matrix);
 
+  // One gap reference per trial, shared by every heuristic's row: the same
+  // instance has the same optimum (or bound) no matter who maps it.
+  std::optional<core::GapReference> gap_ref;
+  if (params.gap) {
+    gap_ref = core::gap_reference(problem, params.gap_options);
+    HCSCHED_SPAN_ATTR(trial_span, "gap_reference",
+                      obs::JsonValue(gap_ref->value));
+    HCSCHED_SPAN_ATTR(trial_span, "gap_exact", obs::JsonValue(gap_ref->exact));
+  }
+
   bool trial_quarantined = false;
   for (std::size_t h = 0; h < instances.size(); ++h) {
     const fault::ScopedKey heuristic_key(
@@ -130,6 +140,12 @@ TrialOutcome run_one_trial(
         record.mean_completion_delta = (final_sum - orig_sum) / orig_sum;
       }
       record.makespan_increased = result.makespan_increased();
+      if (gap_ref.has_value()) {
+        record.has_gap = true;
+        record.gap_pct =
+            core::gap_pct(result.original().makespan, *gap_ref);
+        record.gap_exact = gap_ref->exact;
+      }
       // Per-trial report: one event per (trial, heuristic) run with the
       // makespan transition and balance-index delta.
       HCSCHED_TRACE_EVENT(
@@ -210,6 +226,10 @@ StudyReport fold_outcomes(const StudyParams& params,
       }
       if (record.makespan_increased) ++row.makespan_increases;
       row.original_makespan.add(record.original_makespan);
+      if (record.has_gap) {
+        row.gap_pct.add(record.gap_pct);
+        if (record.gap_exact) ++row.gap_exact_trials;
+      }
     }
     for (const QuarantineRecord& q : outcome.quarantined) {
       report.quarantined.push_back(q);

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/bound.hpp"
 #include "core/cancel.hpp"
 #include "etc/consistency.hpp"
 #include "etc/cvb_generator.hpp"
@@ -58,6 +59,13 @@ struct StudyParams {
   /// kForceOn/kForceOff pin one path for the study's duration (used to
   /// compare study wall-clock like for like).
   heuristics::fastpath::Mode fastpath = heuristics::fastpath::Mode::kAuto;
+  /// Optimality-gap columns (EXT-11): each trial computes one gap reference
+  /// for its instance — the exact BnB optimum when proven within
+  /// `gap_options`, the preemptive-relaxation lower bound otherwise — and
+  /// every heuristic's original-mapping makespan is reported as the
+  /// fractional gap (makespan - ref) / ref.
+  bool gap = false;
+  core::GapOptions gap_options{};
 };
 
 struct StudyRow {
@@ -78,6 +86,11 @@ struct StudyRow {
   std::size_t makespan_increases = 0;
   /// Original-mapping makespan (context for the ratios).
   RunningStats original_makespan{};
+  /// Fractional optimality gap of the original mapping vs the per-trial
+  /// reference. Empty unless StudyParams::gap was set.
+  RunningStats gap_pct{};
+  /// Trials whose gap reference was a proven optimum (vs the bound).
+  std::size_t gap_exact_trials = 0;
 };
 
 /// One (trial, heuristic) contribution to the study rows: everything the
@@ -95,6 +108,10 @@ struct TrialRecord {
   double mean_completion_delta = 0.0;
   bool makespan_increased = false;
   double original_makespan = 0.0;
+  /// Optimality gap of the original mapping (StudyParams::gap runs only).
+  bool has_gap = false;
+  double gap_pct = 0.0;
+  bool gap_exact = false;
 };
 
 /// A failing (trial, heuristic) execution captured instead of aborting the

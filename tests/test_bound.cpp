@@ -1,0 +1,161 @@
+// The preemptive-relaxation lower bound (core/bound.hpp) must be
+// *admissible*: never above the optimal makespan, hence never above any
+// heuristic's makespan. Hand-computed cases pin each of the three bound
+// terms; the fuzz sweep (tier1, env-widenable) checks admissibility
+// against every registered heuristic across the consistency classes.
+#include "core/bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/optimal.hpp"
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "sched/problem.hpp"
+
+namespace {
+
+using hcsched::core::gap_pct;
+using hcsched::core::GapReference;
+using hcsched::core::preemptive_bound;
+using hcsched::core::solve_optimal;
+using hcsched::etc::Consistency;
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+
+constexpr Consistency kClasses[] = {Consistency::kInconsistent,
+                                    Consistency::kSemiConsistent,
+                                    Consistency::kConsistent};
+
+EtcMatrix random_matrix(std::uint64_t seed, std::size_t tasks,
+                        std::size_t machines) {
+  Rng rng(seed);
+  hcsched::etc::CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return hcsched::etc::CvbEtcGenerator(p).generate(rng);
+}
+
+/// Seed count for the fuzz sweeps; nightly CI widens via the environment
+/// without a rebuild (same pattern as the fastpath fuzz harness).
+std::size_t fuzz_seeds() {
+  if (const char* env = std::getenv("HCSCHED_BOUND_FUZZ_SEEDS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 5;
+}
+
+TEST(Bound, HandComputedSingleTaskTermDominates) {
+  // Per-task minima are 3, 2, 6 -> LB1 = 6; balanced LB3 = 11/3; LB2 = 0.
+  const EtcMatrix m =
+      EtcMatrix::from_rows({{4, 9, 3}, {7, 2, 8}, {6, 6, 6}});
+  EXPECT_DOUBLE_EQ(preemptive_bound(Problem::full(m)), 6.0);
+}
+
+TEST(Bound, HandComputedBalancedTermDominates) {
+  // Three identical tasks of 4 on two machines: LB1 = 4, LB3 = 12/2 = 6.
+  // The optimum is 8 (a 2+1 split) — the bound stays below it.
+  const EtcMatrix m = EtcMatrix::from_rows({{4, 4}, {4, 4}, {4, 4}});
+  const Problem p = Problem::full(m);
+  EXPECT_DOUBLE_EQ(preemptive_bound(p), 6.0);
+  EXPECT_DOUBLE_EQ(solve_optimal(p).makespan, 8.0);
+}
+
+TEST(Bound, HandComputedReadyTimeTermDominates) {
+  // Machine 0 is busy until 10 -> LB2 = 10, which is also the optimum
+  // (both unit tasks fit on machine 1 well before then).
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 1}, {1, 1}});
+  const Problem p(m, {0, 1}, {0, 1}, {10.0, 0.0});
+  EXPECT_DOUBLE_EQ(preemptive_bound(p), 10.0);
+  EXPECT_DOUBLE_EQ(solve_optimal(p).makespan, 10.0);
+}
+
+TEST(Bound, SingleMachineBoundIsExact) {
+  // One machine: LB3 degenerates to the full serial load = the optimum.
+  const EtcMatrix m = EtcMatrix::from_rows({{3}, {5}});
+  const Problem p = Problem::full(m);
+  EXPECT_DOUBLE_EQ(preemptive_bound(p), 8.0);
+  EXPECT_DOUBLE_EQ(solve_optimal(p).makespan, 8.0);
+}
+
+TEST(Bound, NoMachinesThrows) {
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2}});
+  const Problem none(m, {0}, {});
+  EXPECT_THROW((void)preemptive_bound(none), std::invalid_argument);
+}
+
+TEST(Bound, NeverExceedsTheProvenOptimum) {
+  for (const Consistency consistency : kClasses) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const EtcMatrix m = hcsched::etc::shape_consistency(
+          random_matrix(seed, 7, 3), consistency);
+      const Problem p = Problem::full(m);
+      const auto optimal = solve_optimal(p);
+      ASSERT_TRUE(optimal.proven_optimal);
+      EXPECT_LE(preemptive_bound(p), optimal.makespan + 1e-9)
+          << hcsched::etc::to_string(consistency) << " seed " << seed;
+      // solve_optimal reports the same bound it pruned with.
+      EXPECT_DOUBLE_EQ(optimal.lower_bound, preemptive_bound(p));
+      EXPECT_LE(optimal.lower_bound, optimal.makespan + 1e-9);
+    }
+  }
+}
+
+// Satellite: admissibility fuzz — the bound must sit at or below the
+// makespan of *every* registered heuristic on every fuzzed instance,
+// including sizes far beyond what BnB can certify.
+TEST(Bound, AdmissibleForEveryRegisteredHeuristic) {
+  const std::size_t seeds = fuzz_seeds();
+  for (const Consistency consistency : kClasses) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const EtcMatrix m = hcsched::etc::shape_consistency(
+          random_matrix(seed ^ 0xb0u, 12, 4), consistency);
+      const Problem p = Problem::full(m);
+      const double bound = preemptive_bound(p);
+      for (const std::string& name :
+           hcsched::heuristics::known_heuristic_names()) {
+        const auto h = hcsched::heuristics::make_heuristic(name);
+        TieBreaker ties;
+        EXPECT_LE(bound, h->map(p, ties).makespan() + 1e-9)
+            << name << " " << hcsched::etc::to_string(consistency)
+            << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(Bound, GapPctAgainstReference) {
+  GapReference reference;
+  reference.value = 8.0;
+  EXPECT_DOUBLE_EQ(gap_pct(10.0, reference), 0.25);
+  EXPECT_DOUBLE_EQ(gap_pct(8.0, reference), 0.0);
+  // Degenerate zero-reference instances report a zero gap, not a NaN.
+  reference.value = 0.0;
+  EXPECT_DOUBLE_EQ(gap_pct(0.0, reference), 0.0);
+}
+
+TEST(Bound, GapReferenceFallsBackToBoundOnLargeInstances) {
+  const EtcMatrix m = random_matrix(3, 20, 5);  // beyond exact_max_tasks
+  const Problem p = Problem::full(m);
+  const GapReference reference = hcsched::core::gap_reference(p);
+  EXPECT_FALSE(reference.exact);
+  EXPECT_EQ(reference.nodes_explored, 0u);
+  EXPECT_DOUBLE_EQ(reference.value, preemptive_bound(p));
+}
+
+TEST(Bound, GapReferenceIsExactOnSmallInstances) {
+  const EtcMatrix m = random_matrix(4, 8, 3);
+  const Problem p = Problem::full(m);
+  const GapReference reference = hcsched::core::gap_reference(p);
+  ASSERT_TRUE(reference.exact);
+  EXPECT_GT(reference.nodes_explored, 0u);
+  EXPECT_NEAR(reference.value, solve_optimal(p).makespan, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Gap-verification tier: BnB-solved small instances (t <= 10, m <= 4, all
+// three consistency classes) pin exact optima as golden oracles. On those
+// cells every registered heuristic's reported gap must match
+// (makespan - opt) / opt to 1e-9, the local-search family must match or
+// beat the best two-phase greedy gap on >= 80% of cells, and the study
+// engine's gap columns must equal an independent recomputation — through
+// checkpoint round trips included. Cell counts widen via HCSCHED_GAP_SEEDS
+// in the nightly gap-verification CI job.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/bound.hpp"
+#include "core/optimal.hpp"
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/registry.hpp"
+#include "sched/problem.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using hcsched::core::gap_pct;
+using hcsched::core::gap_reference;
+using hcsched::core::GapReference;
+using hcsched::core::preemptive_bound;
+using hcsched::core::solve_optimal;
+using hcsched::etc::Consistency;
+using hcsched::etc::EtcMatrix;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+
+constexpr Consistency kClasses[] = {Consistency::kInconsistent,
+                                    Consistency::kSemiConsistent,
+                                    Consistency::kConsistent};
+
+std::size_t gap_seeds() {
+  if (const char* env = std::getenv("HCSCHED_GAP_SEEDS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 3;
+}
+
+/// One BnB-solvable golden matrix. Returned by value: Problem is a view
+/// over an EtcMatrix, so the caller must keep the matrix alive.
+EtcMatrix golden_matrix(std::uint64_t seed, std::size_t tasks,
+                        std::size_t machines, Consistency consistency) {
+  Rng rng(seed);
+  hcsched::etc::CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return hcsched::etc::shape_consistency(
+      hcsched::etc::CvbEtcGenerator(p).generate(rng), consistency);
+}
+
+struct GoldenCell {
+  std::size_t tasks;
+  std::size_t machines;
+};
+constexpr GoldenCell kGoldenCells[] = {{6, 3}, {8, 4}, {10, 4}};
+
+// Acceptance criterion: on every golden instance the reported gap of every
+// registered heuristic is exact — (makespan - opt)/opt to 1e-9 — and the
+// chain lower_bound <= opt <= heuristic makespan holds.
+TEST(GapVerification, GoldenOraclesPinExactGapsForEveryHeuristic) {
+  const std::size_t seeds = gap_seeds();
+  for (const Consistency consistency : kClasses) {
+    for (const GoldenCell& cell : kGoldenCells) {
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        const EtcMatrix m =
+            golden_matrix(seed, cell.tasks, cell.machines, consistency);
+        const Problem p = Problem::full(m);
+        const auto optimal = solve_optimal(p);
+        ASSERT_TRUE(optimal.proven_optimal)
+            << cell.tasks << "x" << cell.machines << " seed " << seed;
+        const GapReference reference = gap_reference(p);
+        ASSERT_TRUE(reference.exact);
+        ASSERT_NEAR(reference.value, optimal.makespan, 1e-12);
+        const double bound = preemptive_bound(p);
+        EXPECT_LE(bound, optimal.makespan + 1e-9);
+        for (const std::string& name :
+             hcsched::heuristics::known_heuristic_names()) {
+          const auto h = hcsched::heuristics::make_heuristic(name);
+          TieBreaker ties;
+          const double makespan = h->map(p, ties).makespan();
+          const double gap = gap_pct(makespan, reference);
+          EXPECT_NEAR(gap, (makespan - optimal.makespan) / optimal.makespan,
+                      1e-9)
+              << name;
+          EXPECT_GE(gap, -1e-9) << name << ": beat a proven optimum";
+          EXPECT_LE(bound, makespan + 1e-9) << name;
+        }
+      }
+    }
+  }
+}
+
+// Acceptance criterion: the local-search family's gap is at or below the
+// best two-phase greedy gap (Min-Min / Max-Min / Duplex) on >= 80% of
+// golden cells.
+TEST(GapVerification, LocalSearchFamilyMatchesOrBeatsTwoPhaseGreedy) {
+  const std::size_t seeds = std::max<std::size_t>(gap_seeds(), 5);
+  std::size_t cells = 0;
+  std::size_t family_wins = 0;
+  for (const Consistency consistency : kClasses) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const EtcMatrix m = golden_matrix(seed ^ 0x9a0u, 10, 4, consistency);
+      const Problem p = Problem::full(m);
+      const GapReference reference = gap_reference(p);
+      ASSERT_TRUE(reference.exact);
+      const auto gap_of = [&](const char* name) {
+        const auto h = hcsched::heuristics::make_heuristic(name);
+        TieBreaker ties;
+        return gap_pct(h->map(p, ties).makespan(), reference);
+      };
+      const double greedy = std::min(
+          {gap_of("Min-Min"), gap_of("Max-Min"), gap_of("Duplex")});
+      const double family =
+          std::min(gap_of("Local-Search"), gap_of("Local-Search-FI"));
+      ++cells;
+      if (family <= greedy + 1e-12) ++family_wins;
+    }
+  }
+  EXPECT_GE(family_wins * 10, cells * 8)
+      << family_wins << " of " << cells << " cells";
+}
+
+// The study engine's gap columns are not a separate estimate: each record
+// must equal a recomputation from the trial's own regenerated instance.
+TEST(GapVerification, StudyGapColumnsMatchIndependentRecomputation) {
+  hcsched::sim::StudyParams params;
+  params.heuristics = {"Min-Min", "Sufferage", "Local-Search"};
+  params.cvb.num_tasks = 8;
+  params.cvb.num_machines = 3;
+  params.trials = 5;
+  params.seed = 17;
+  params.gap = true;
+
+  hcsched::sim::ThreadPool pool;
+  const hcsched::sim::StudyReport report =
+      hcsched::sim::run_iterative_study_report(params, pool);
+
+  const hcsched::etc::CvbEtcGenerator generator(params.cvb);
+  ASSERT_EQ(report.outcomes.size(), params.trials);
+  for (std::size_t trial = 0; trial < params.trials; ++trial) {
+    // Regenerate the trial's instance exactly as run_one_trial does.
+    Rng trial_rng = Rng(params.seed).split(trial);
+    const EtcMatrix matrix = hcsched::etc::shape_consistency(
+        generator.generate(trial_rng), params.consistency);
+    const Problem p = Problem::full(matrix);
+    const GapReference reference = gap_reference(p, params.gap_options);
+    for (const auto& record : report.outcomes[trial].records) {
+      SCOPED_TRACE(record.heuristic);
+      ASSERT_TRUE(record.has_gap);
+      EXPECT_EQ(record.gap_exact, reference.exact);
+      // Same code path, same inputs: bit-identical, not just close.
+      EXPECT_EQ(record.gap_pct,
+                gap_pct(record.original_makespan, reference));
+      EXPECT_GE(record.gap_pct, -1e-9);
+    }
+  }
+  for (const auto& row : report.rows) {
+    EXPECT_EQ(row.gap_pct.count(), row.trials);
+    EXPECT_EQ(row.gap_exact_trials, row.trials);  // 8x3 is BnB-solvable
+  }
+}
+
+TEST(GapVerification, CheckpointRoundTripsGapFields) {
+  hcsched::sim::TrialOutcome outcome;
+  outcome.completed = true;
+  hcsched::sim::TrialRecord record;
+  record.heuristic = "Local-Search";
+  record.original_makespan = 12.5;
+  record.has_gap = true;
+  record.gap_pct = 0.0625;
+  record.gap_exact = true;
+  outcome.records.push_back(record);
+
+  const hcsched::sim::CheckpointKey key{"", 5, 0};
+  const std::string line = hcsched::sim::encode_trial(key, outcome);
+  const auto decoded = hcsched::sim::decode_trial(line);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->second.records.size(), 1u);
+  const auto& back = decoded->second.records[0];
+  EXPECT_TRUE(back.has_gap);
+  EXPECT_EQ(back.gap_pct, record.gap_pct);
+  EXPECT_TRUE(back.gap_exact);
+}
+
+TEST(GapVerification, VersionOneLinesWithoutGapFieldsStillDecode) {
+  // A line written before the gap columns existed: every original field,
+  // no gap_pct/gap_exact. Tolerant decode, not a corrupt line.
+  const std::string line =
+      R"({"v":1,"point":"","seed":"5","trial":0,"records":[)"
+      R"({"heuristic":"Min-Min","improved":1,"unchanged":2,"worsened":0,)"
+      R"("finish_deltas":[-0.5],"mean_completion_delta":null,)"
+      R"("makespan_increased":false,"original_makespan":9.0}],)"
+      R"("quarantined":[]})";
+  const auto decoded = hcsched::sim::decode_trial(line);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->second.records.size(), 1u);
+  const auto& record = decoded->second.records[0];
+  EXPECT_FALSE(record.has_gap);
+  EXPECT_FALSE(record.gap_exact);
+  EXPECT_EQ(record.machines_improved, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// Differential determinism harness for the local-search family: the same
+// seed must yield the same schedule and consume no caller randomness —
+// with or without cancellation, and through checkpoint/resume — and a run
+// seeded from another schedule can never end up worse than its seed.
+#include "heuristics/localsearch/localsearch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/cancel.hpp"
+#include "etc/consistency.hpp"
+#include "etc/cvb_generator.hpp"
+#include "heuristics/mct.hpp"
+#include "heuristics/minmin.hpp"
+#include "heuristics/registry.hpp"
+#include "sched/validate.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace {
+
+using hcsched::core::CancelToken;
+using hcsched::core::ScopedCancel;
+using hcsched::etc::EtcMatrix;
+using hcsched::heuristics::LocalSearch;
+using hcsched::heuristics::LocalSearchConfig;
+using hcsched::rng::Rng;
+using hcsched::rng::TieBreaker;
+using hcsched::sched::Problem;
+using hcsched::sched::Schedule;
+
+EtcMatrix random_matrix(std::uint64_t seed, std::size_t tasks,
+                        std::size_t machines) {
+  Rng rng(seed);
+  hcsched::etc::CvbParams p;
+  p.num_tasks = tasks;
+  p.num_machines = machines;
+  return hcsched::etc::CvbEtcGenerator(p).generate(rng);
+}
+
+void expect_identical(const Problem& problem, const Schedule& a,
+                      const Schedule& b) {
+  ASSERT_TRUE(a.same_mapping(b));
+  for (const auto machine : problem.machines()) {
+    EXPECT_DOUBLE_EQ(a.completion_time(machine), b.completion_time(machine));
+  }
+}
+
+TEST(LocalSearch, SameSeedSameScheduleAndNoTieConsumption) {
+  const EtcMatrix m = random_matrix(21, 16, 5);
+  const Problem p = Problem::full(m);
+  for (const bool first_improvement : {false, true}) {
+    LocalSearchConfig config;
+    config.first_improvement = first_improvement;
+    const LocalSearch ls(config);
+    TieBreaker t1;
+    TieBreaker t2;
+    const Schedule a = ls.map(p, t1);
+    const Schedule b = ls.map(p, t2);
+    expect_identical(p, a, b);
+    // All stochastic decisions come from the private seeded stream: the
+    // caller's TieBreaker is untouched, so traces and RNG consumption of
+    // the surrounding study are identical run to run.
+    EXPECT_EQ(t1.decisions(), 0u);
+    EXPECT_EQ(t1.tie_events(), 0u);
+    EXPECT_TRUE(hcsched::sched::is_valid(a));
+    EXPECT_TRUE(a.complete());
+  }
+}
+
+TEST(LocalSearch, DifferentSeedsMayDifferButStayValid) {
+  const EtcMatrix m = random_matrix(22, 14, 4);
+  const Problem p = Problem::full(m);
+  LocalSearchConfig config;
+  config.seed = 1;
+  LocalSearchConfig other = config;
+  other.seed = 2;
+  TieBreaker ties;
+  const Schedule a = LocalSearch(config).map(p, ties);
+  const Schedule b = LocalSearch(other).map(p, ties);
+  EXPECT_TRUE(hcsched::sched::is_valid(a));
+  EXPECT_TRUE(hcsched::sched::is_valid(b));
+  // Both descents start from the same Min-Min seed, so both are at least
+  // as good as it regardless of which disruptions their streams chose.
+  hcsched::heuristics::MinMin minmin;
+  TieBreaker det;
+  const double seed_span = minmin.map(p, det).makespan();
+  EXPECT_LE(a.makespan(), seed_span + 1e-9);
+  EXPECT_LE(b.makespan(), seed_span + 1e-9);
+}
+
+TEST(LocalSearch, NeverWorseThanItsGreedySeed) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const EtcMatrix m = random_matrix(seed, 12, 4);
+    const Problem p = Problem::full(m);
+    hcsched::heuristics::MinMin minmin;
+    TieBreaker det;
+    const double greedy = minmin.map(p, det).makespan();
+    for (const char* name : {"Local-Search", "Local-Search-FI"}) {
+      const auto ls = hcsched::heuristics::make_heuristic(name);
+      TieBreaker ties;
+      EXPECT_LE(ls->map(p, ties).makespan(), greedy + 1e-9)
+          << name << " seed " << seed;
+    }
+  }
+}
+
+TEST(LocalSearch, SeededRunNeverWorseThanTheSeedSchedule) {
+  const EtcMatrix m = random_matrix(31, 12, 4);
+  const Problem p = Problem::full(m);
+  hcsched::heuristics::Mct mct;
+  TieBreaker det;
+  const Schedule seed_schedule = mct.map(p, det);
+  const LocalSearch ls;
+  TieBreaker ties;
+  const Schedule out = ls.map_seeded(p, ties, &seed_schedule);
+  EXPECT_LE(out.makespan(), seed_schedule.makespan() + 1e-9);
+  EXPECT_TRUE(hcsched::sched::is_valid(out));
+}
+
+TEST(LocalSearch, TrivialInstances) {
+  // One machine: every mapping is the same; the search must not loop.
+  const EtcMatrix one = EtcMatrix::from_rows({{3}, {4}});
+  const LocalSearch ls;
+  TieBreaker ties;
+  EXPECT_DOUBLE_EQ(ls.map(Problem::full(one), ties).makespan(), 7.0);
+  // No tasks.
+  const EtcMatrix m = EtcMatrix::from_rows({{1, 2}});
+  const Problem empty(m, {}, {0, 1});
+  EXPECT_DOUBLE_EQ(ls.map(empty, ties).makespan(), 0.0);
+  // No machines: error, like every heuristic.
+  const Problem none(m, {0}, {});
+  EXPECT_THROW((void)ls.map(none, ties), std::invalid_argument);
+}
+
+TEST(LocalSearch, CancelledRunIsCompleteValidAndDeterministic) {
+  const EtcMatrix m = random_matrix(41, 16, 5);
+  const Problem p = Problem::full(m);
+  const LocalSearch ls;
+
+  // Cut point A: cancelled before the search starts. The anytime contract
+  // still returns a complete, valid mapping — and the same one every time.
+  CancelToken cancelled;
+  cancelled.request_cancel();
+  Schedule first(p);
+  {
+    const ScopedCancel scope(cancelled);
+    TieBreaker ties;
+    first = ls.map(p, ties);
+  }
+  EXPECT_TRUE(first.complete());
+  EXPECT_TRUE(hcsched::sched::is_valid(first));
+  {
+    const ScopedCancel scope(cancelled);
+    TieBreaker ties;
+    const Schedule again = ls.map(p, ties);
+    expect_identical(p, first, again);
+  }
+
+  // Cut point B: no cancellation. Deterministic as well, and at least as
+  // good as the early-cut result (the search only ever keeps improvements).
+  TieBreaker ties;
+  const Schedule full = ls.map(p, ties);
+  EXPECT_LE(full.makespan(), first.makespan() + 1e-9);
+}
+
+TEST(LocalSearch, StudyResumeIsBitIdenticalWithGapColumns) {
+  using hcsched::sim::CheckpointData;
+  using hcsched::sim::CheckpointWriter;
+  using hcsched::sim::StudyHooks;
+  using hcsched::sim::StudyParams;
+  using hcsched::sim::StudyReport;
+  using hcsched::sim::ThreadPool;
+
+  StudyParams params;
+  params.heuristics = {"Min-Min", "Local-Search", "Local-Search-FI"};
+  params.cvb.num_tasks = 8;
+  params.cvb.num_machines = 3;
+  params.trials = 6;
+  params.seed = 91;
+  params.gap = true;
+
+  ThreadPool pool;
+  const StudyReport clean =
+      hcsched::sim::run_iterative_study_report(params, pool);
+
+  const std::string path =
+      testing::TempDir() + "hcsched_localsearch_resume.jsonl";
+  std::remove(path.c_str());
+  {
+    CheckpointWriter writer(path);
+    StudyHooks hooks;
+    hooks.checkpoint = &writer;
+    (void)hcsched::sim::run_iterative_study_report(params, pool, hooks);
+  }
+  const CheckpointData data = hcsched::sim::load_checkpoint(path);
+  EXPECT_EQ(data.trials.size(), params.trials);
+  StudyHooks resume_hooks;
+  resume_hooks.resume = &data;
+  const StudyReport resumed =
+      hcsched::sim::run_iterative_study_report(params, pool, resume_hooks);
+  EXPECT_EQ(resumed.trials_replayed, params.trials);
+
+  ASSERT_EQ(clean.rows.size(), resumed.rows.size());
+  for (std::size_t i = 0; i < clean.rows.size(); ++i) {
+    SCOPED_TRACE(clean.rows[i].heuristic);
+    EXPECT_EQ(clean.rows[i].trials, resumed.rows[i].trials);
+    EXPECT_EQ(clean.rows[i].machines_improved,
+              resumed.rows[i].machines_improved);
+    EXPECT_EQ(clean.rows[i].finish_delta.mean(),
+              resumed.rows[i].finish_delta.mean());
+    // The gap columns survive the round trip bit-for-bit.
+    EXPECT_EQ(clean.rows[i].gap_pct.count(), resumed.rows[i].gap_pct.count());
+    EXPECT_EQ(clean.rows[i].gap_pct.mean(), resumed.rows[i].gap_pct.mean());
+    EXPECT_EQ(clean.rows[i].gap_pct.variance(),
+              resumed.rows[i].gap_pct.variance());
+    EXPECT_EQ(clean.rows[i].gap_exact_trials,
+              resumed.rows[i].gap_exact_trials);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LocalSearch, RegistryExposesTheFamily) {
+  EXPECT_EQ(hcsched::heuristics::make_heuristic("local-search")->name(),
+            "Local-Search");
+  EXPECT_EQ(hcsched::heuristics::make_heuristic("LS")->name(),
+            "Local-Search");
+  EXPECT_EQ(hcsched::heuristics::make_heuristic("local_search_fi")->name(),
+            "Local-Search-FI");
+  const auto ls = hcsched::heuristics::make_heuristic("Local-Search");
+  EXPECT_FALSE(ls->deterministic_given_ties());
+}
+
+}  // namespace

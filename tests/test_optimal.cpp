@@ -69,6 +69,42 @@ TEST(Optimal, NeverWorseThanAnyHeuristic) {
   }
 }
 
+TEST(Optimal, NeverWorseThanAnyHeuristicUnderAnyTiePolicy) {
+  // A tie-rich integer instance: ties are where a broken tie policy could
+  // otherwise hide an optimality regression, so the oracle sweep covers
+  // all three policies, not just the default deterministic one.
+  const EtcMatrix m = EtcMatrix::from_rows({{2, 2, 4},
+                                            {4, 2, 2},
+                                            {2, 4, 2},
+                                            {6, 2, 4},
+                                            {4, 6, 2},
+                                            {2, 2, 2},
+                                            {4, 4, 4},
+                                            {6, 6, 6}});
+  const Problem p = Problem::full(m);
+  const auto optimal = solve_optimal(p);
+  ASSERT_TRUE(optimal.proven_optimal);
+  for (const auto& h : hcsched::heuristics::extended_heuristics()) {
+    {
+      TieBreaker deterministic;
+      EXPECT_LE(optimal.makespan,
+                h->map(p, deterministic).makespan() + 1e-9)
+          << h->name() << " (deterministic ties)";
+    }
+    {
+      Rng rng(7);
+      TieBreaker random(rng);
+      EXPECT_LE(optimal.makespan, h->map(p, random).makespan() + 1e-9)
+          << h->name() << " (random ties)";
+    }
+    {
+      TieBreaker scripted(std::vector<std::size_t>{1, 0, 2, 1, 0, 3, 2, 1});
+      EXPECT_LE(optimal.makespan, h->map(p, scripted).makespan() + 1e-9)
+          << h->name() << " (scripted ties)";
+    }
+  }
+}
+
 TEST(Optimal, RespectsInitialReadyTimes) {
   const EtcMatrix m = EtcMatrix::from_rows({{1, 1}, {1, 1}});
   // m0 starts busy until 10: both tasks must go to m1 -> makespan 10? No:

@@ -55,19 +55,22 @@ TEST(Registry, AllSetAddsTheBaselines) {
 
 TEST(Registry, ExtendedSetAddsSearchBaselines) {
   const auto set = hcsched::heuristics::extended_heuristics();
-  ASSERT_EQ(set.size(), 15u);
+  ASSERT_EQ(set.size(), 17u);
   EXPECT_EQ(set[10]->name(), "SA");
   EXPECT_EQ(set[11]->name(), "GSA");
   EXPECT_EQ(set[12]->name(), "Tabu");
   EXPECT_EQ(set[13]->name(), "Segmented Min-Min");
   EXPECT_EQ(set[14]->name(), "A*");
+  EXPECT_EQ(set[15]->name(), "Local-Search");
+  EXPECT_EQ(set[16]->name(), "Local-Search-FI");
 }
 
 TEST(Registry, OnlySearchHeuristicsAreNondeterministicGivenTies) {
   for (const auto& h : hcsched::heuristics::extended_heuristics()) {
     const std::string name(h->name());
     const bool stochastic =
-        name == "Genitor" || name == "SA" || name == "GSA" || name == "Tabu";
+        name == "Genitor" || name == "SA" || name == "GSA" ||
+        name == "Tabu" || name == "Local-Search" || name == "Local-Search-FI";
     EXPECT_EQ(h->deterministic_given_ties(), !stochastic) << name;
   }
 }

@@ -63,6 +63,7 @@ constexpr std::pair<std::string_view, std::string_view> kPrefixComponents[] =
         {"src/etc/", "etc"},
         {"src/sched/", "sched"},
         {"src/ga/", "ga"},
+        {"src/heuristics/localsearch/", "heuristics/localsearch"},
         {"src/heuristics/", "heuristics"},
         {"src/sim/", "sim"},
         {"src/report/", "report"},
@@ -83,7 +84,9 @@ const std::map<std::string, std::vector<std::string>>& component_deps() {
       {"heuristics",
        {"core/base", "rng", "etc", "sched", "ga", "sim/fault"}},
       {"ga/genitor", {"core/base", "ga", "heuristics"}},
-      {"heuristics/registry", {"core/base", "heuristics", "ga/genitor"}},
+      {"heuristics/localsearch", {"core/base", "ga", "heuristics"}},
+      {"heuristics/registry",
+       {"core/base", "heuristics", "heuristics/localsearch", "ga/genitor"}},
       {"sim/pool", {"core/base", "sim/fault"}},
       {"core/algo",
        {"core/base", "rng", "etc", "sched", "heuristics",

@@ -3,10 +3,11 @@
 // only the library's JSON model), so CI can gate on it without pulling a
 // JSON-schema engine.
 //
-//   bench_check --fastpath  BENCH_fastpath.json    fastpath kernel baseline
-//   bench_check --iterative BENCH_iterative.json   iterative study baseline
-//   bench_check --stats     stats.json             `hcsched_cli stats` output
-//   bench_check --profile   profile.json           `--profile` span profile
+//   bench_check --fastpath    BENCH_fastpath.json    fastpath kernel baseline
+//   bench_check --iterative   BENCH_iterative.json   iterative study baseline
+//   bench_check --localsearch BENCH_localsearch.json local-search gap baseline
+//   bench_check --stats       stats.json             `hcsched_cli stats` output
+//   bench_check --profile     profile.json           `--profile` span profile
 //
 // Exit status: 0 when every named file validates, 1 on the first schema
 // violation (with a path-qualified message on stderr) or bad usage. Modes
@@ -145,6 +146,52 @@ void check_iterative(const JsonValue& root) {
   }
 }
 
+// --- local-search gap baseline: BENCH_localsearch.json -------------------
+
+void check_localsearch(const JsonValue& root) {
+  require(str(root, "$", "bench") == "localsearch_gap", "$.bench",
+          "expected \"localsearch_gap\"");
+  const auto& cells = array(root, "$", "cells");
+  require(!cells.empty(), "$.cells", "expected at least one cell");
+  std::set<std::string> heuristics_seen;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string where = "$.cells[" + std::to_string(i) + "]";
+    const JsonValue& cell = cells[i];
+    require(!str(cell, where, "heuristic").empty(), where + ".heuristic",
+            "expected a non-empty heuristic name");
+    heuristics_seen.insert(str(cell, where, "heuristic"));
+    require(num(cell, where, "tasks") > 0, where + ".tasks",
+            "expected a positive task count");
+    require(num(cell, where, "machines") > 0, where + ".machines",
+            "expected a positive machine count");
+    const std::string consistency = str(cell, where, "consistency");
+    require(consistency == "inconsistent" ||
+                consistency == "semi-consistent" ||
+                consistency == "consistent",
+            where + ".consistency", "unknown class '" + consistency + "'");
+    require(num(cell, where, "trials") > 0, where + ".trials",
+            "expected a positive trial count");
+    // Gaps are measured against an admissible reference (a proven optimum
+    // or the preemptive lower bound), so no heuristic can report < 0.
+    const double mean = nonneg(cell, where, "mean_gap_pct");
+    const double worst = nonneg(cell, where, "worst_gap_pct");
+    require(worst >= mean, where + ".worst_gap_pct",
+            "worst gap below the mean gap");
+    const double exact = nonneg(cell, where, "exact_refs");
+    require(exact <= num(cell, where, "trials"), where + ".exact_refs",
+            "more exact references than trials");
+  }
+  // The baseline is only meaningful as a comparison: both local-search
+  // variants AND the two-phase greedy baselines they are measured against
+  // must have rows, or a stale committed sweep fails CI here.
+  for (const char* name : {"Local-Search", "Local-Search-FI", "Min-Min",
+                           "Max-Min", "Duplex"}) {
+    require(heuristics_seen.count(name) != 0, "$.cells",
+            std::string("missing rows for required heuristic '") + name +
+                "'");
+  }
+}
+
 // --- stats document: `hcsched_cli stats --format json` -------------------
 
 void check_stats(const JsonValue& root) {
@@ -227,7 +274,7 @@ void check_profile(const JsonValue& root) {
 int usage() {
   std::fprintf(stderr,
                "usage: bench_check [--fastpath FILE] [--iterative FILE] "
-               "[--stats FILE] [--profile FILE]\n");
+               "[--localsearch FILE] [--stats FILE] [--profile FILE]\n");
   return 1;
 }
 
@@ -253,6 +300,8 @@ int main(int argc, char** argv) {
         check_fastpath(root);
       } else if (mode == "--iterative") {
         check_iterative(root);
+      } else if (mode == "--localsearch") {
+        check_localsearch(root);
       } else if (mode == "--stats") {
         check_stats(root);
       } else if (mode == "--profile") {

@@ -13,11 +13,11 @@
 //   hcsched_cli study    [--trials N] [--tasks N] [--machines M]
 //                        [--ties det|random] [--seed S] [--budget-ms N]
 //                        [--checkpoint FILE] [--resume FILE]
-//                        [--profile FILE.json]
+//                        [--profile FILE.json] [--gap]
 //   hcsched_cli sweep    [--trials N] [--tasks N] [--machines M]
 //                        [--ties det|random] [--seed S] [--budget-ms N]
 //                        [--checkpoint FILE] [--resume FILE]
-//                        [--profile FILE.json]
+//                        [--profile FILE.json] [--gap]
 //   hcsched_cli stats    [--trials N] [--tasks N] [--machines M]
 //                        [--ties det|random] [--seed S]
 //                        [--format json|prom]
@@ -41,6 +41,12 @@
 //                        (per-phase count / total / self wall time) and
 //                        write it to FILE; stdout is unchanged, so resumed
 //                        runs stay byte-identical with or without it
+//   --gap                add the Local-Search baselines to the heuristic
+//                        set and a per-row optimality-gap column: mean of
+//                        (makespan - ref)/ref over trials, where ref is the
+//                        trial's BnB optimum when proven within the size
+//                        limits and the preemptive lower bound otherwise
+//                        (docs/BASELINES.md)
 //
 // Exit status: 0 on success, 1 on bad usage — including unknown flags and
 // malformed numeric values — or (witness) not found. Usage/help goes to
@@ -113,7 +119,7 @@ class Args {
         return;
       }
       key = key.substr(2);
-      if (key == "no-seeding" || key == "json" ||
+      if (key == "no-seeding" || key == "json" || key == "gap" ||
           key == "no-fastpath") {  // boolean flags
         values_[key] = "true";
         continue;
@@ -394,18 +400,51 @@ sim::StudyParams study_params_from(const Args& args) {
   params.tie_policy = args.get_or("ties", "det") == "random"
                           ? rng::TiePolicy::kRandom
                           : rng::TiePolicy::kDeterministic;
+  if (args.get("gap").has_value()) {
+    params.gap = true;
+    // Gap runs are baseline comparisons: include the local-search family
+    // next to the paper set so the table answers "how far from optimal".
+    params.heuristics.push_back("Local-Search");
+    params.heuristics.push_back("Local-Search-FI");
+  }
   return params;
 }
 
-void print_study_rows(const std::vector<sim::StudyRow>& rows) {
-  report::TextTable table({"heuristic", "improved", "unchanged", "worsened",
-                           "makespan increases"});
+/// "3.142%" — fixed-point percent for the gap column.
+std::string percent_of(double fraction) {
+  double value = fraction * 100.0;
+  // An exact-optimum gap can come out as a sub-rounding negative epsilon
+  // (the solver and the schedule sum completion times in different
+  // orders); don't render that as "-0.000%".
+  if (value > -5e-4 && value < 5e-4) value = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f%%", value);
+  return buf;
+}
+
+void print_study_rows(const std::vector<sim::StudyRow>& rows,
+                      bool gap = false) {
+  std::vector<std::string> header = {"heuristic", "improved", "unchanged",
+                                     "worsened", "makespan increases"};
+  if (gap) {
+    header.push_back("mean gap");
+    header.push_back("exact refs");
+  }
+  report::TextTable table(header);
   for (const auto& row : rows) {
-    table.add_row({row.heuristic, std::to_string(row.machines_improved),
-                   std::to_string(row.machines_unchanged),
-                   std::to_string(row.machines_worsened),
-                   std::to_string(row.makespan_increases) + "/" +
-                       std::to_string(row.trials)});
+    std::vector<std::string> cells = {
+        row.heuristic, std::to_string(row.machines_improved),
+        std::to_string(row.machines_unchanged),
+        std::to_string(row.machines_worsened),
+        std::to_string(row.makespan_increases) + "/" +
+            std::to_string(row.trials)};
+    if (gap) {
+      cells.push_back(row.gap_pct.count() > 0 ? percent_of(row.gap_pct.mean())
+                                              : "-");
+      cells.push_back(std::to_string(row.gap_exact_trials) + "/" +
+                      std::to_string(row.trials));
+    }
+    table.add_row(cells);
   }
   std::printf("%s", table.to_string().c_str());
 }
@@ -436,7 +475,7 @@ int cmd_study(const Args& args) {
   sim::ThreadPool pool;
   const sim::StudyReport report =
       sim::run_iterative_study_report(params, pool, setup.hooks);
-  print_study_rows(report.rows);
+  print_study_rows(report.rows, params.gap);
   print_report_notices(report, "study");
   return 0;
 }
@@ -449,7 +488,7 @@ int cmd_sweep(const Args& args) {
                                              pool, setup.hooks);
   for (const auto& result : results) {
     std::printf("== %s ==\n", result.point.label.c_str());
-    print_study_rows(result.report.rows);
+    print_study_rows(result.report.rows, params.gap);
     print_report_notices(result.report, result.point.label);
   }
   if (results.size() < sim::standard_sweep().size()) {
@@ -608,7 +647,7 @@ bool declare_flags(const std::string& command, Args& args) {
   }
   if (command == "study" || command == "sweep") {
     args.allow({"trials", "tasks", "machines", "ties", "seed", "budget-ms",
-                "checkpoint", "resume", "profile"});
+                "checkpoint", "resume", "profile", "gap"});
     return true;
   }
   if (command == "stats") {
