@@ -108,8 +108,10 @@ void JsonlSink::consume(const TraceEvent& event) {
 }
 
 void JsonlSink::flush() {
+  // Audited: the sink IS the serialization point for the stream — flushing
+  // outside the lock would interleave with a concurrent consume().
   const core::MutexLock lock(mutex_);
-  out_->flush();
+  out_->flush();  // lint:allow(blocking-under-lock)
 }
 
 void Tracer::install(std::shared_ptr<TraceSink> sink) {

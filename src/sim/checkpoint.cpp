@@ -228,9 +228,12 @@ void CheckpointWriter::append_trial(const CheckpointKey& key,
   HCSCHED_SPAN(write_span, "checkpoint.append");
   HCSCHED_SPAN_ATTR(write_span, "trial", obs::JsonValue(key.trial));
   const std::string line = encode_trial(key, outcome);
+  // Audited: durability requires the flush inside the lock — a checkpoint
+  // line must be on disk before the next writer interleaves (crash-resume
+  // replays only fully flushed lines).
   const core::MutexLock lock(mutex_);
   out_ << line << '\n';
-  out_.flush();
+  out_.flush();  // lint:allow(blocking-under-lock)
   if (!out_) {
     throw std::runtime_error("checkpoint: write to " + path_ + " failed");
   }

@@ -1,0 +1,291 @@
+// Edge-case pins for the analyzer's symbol indexer (tools/analyze/
+// symbols.hpp): the declaration shapes the recognizer must classify
+// without a real C++ parser — template heads, overload sets, out-of-line
+// members, operators, lambdas handed to parallel_for_chunks, function
+// pointers, held-lock tracking, and annotation capture. Each test feeds a
+// snippet through the real analyze_file pipeline and inspects the
+// FunctionRecords, so a recognizer regression shows up here before it
+// mis-fires an interprocedural rule.
+#include "analyze/symbols.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/model.hpp"
+
+namespace {
+
+using analyze::FileSummary;
+using analyze::FunctionRecord;
+
+FileSummary index(const std::string& source,
+                  const std::string& relative = "src/sim/probe.cpp") {
+  return analyze::analyze_file(relative, source);
+}
+
+/// Definitions only, file-scope record excluded.
+std::vector<const FunctionRecord*> defs(const FileSummary& s) {
+  std::vector<const FunctionRecord*> out;
+  for (const FunctionRecord& r : s.functions) {
+    if (!r.file_scope && r.is_definition) out.push_back(&r);
+  }
+  return out;
+}
+
+const FunctionRecord* find(const FileSummary& s,
+                           const std::string& qualified) {
+  for (const FunctionRecord& r : s.functions) {
+    if (r.qualified == qualified) return &r;
+  }
+  return nullptr;
+}
+
+TEST(SymbolIndexer, TemplateFunctionIsFlaggedTemplate) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "template <typename T>\n"
+      "T clamp_low(T v, T lo) {\n"
+      "  return v < lo ? lo : v;\n"
+      "}\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::clamp_low");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->is_template);
+  EXPECT_TRUE(r->is_definition);
+  EXPECT_FALSE(r->is_member);
+}
+
+TEST(SymbolIndexer, OverloadSetYieldsOneRecordPerDefinition) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "int widen(int x) { return x; }\n"
+      "double widen(double x) { return x; }\n"
+      "}  // namespace hc\n");
+  std::size_t widen_defs = 0;
+  for (const FunctionRecord* r : defs(s)) {
+    if (r->name == "widen") ++widen_defs;
+  }
+  EXPECT_EQ(widen_defs, 2u);
+}
+
+TEST(SymbolIndexer, OutOfLineMemberCarriesClassQualifier) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "int Engine::run(int x) { return step(x); }\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::Engine::run");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->is_member);
+  EXPECT_EQ(r->name, "run");
+  ASSERT_EQ(r->calls.size(), 1u);
+  EXPECT_EQ(r->calls[0].name, "step");
+}
+
+TEST(SymbolIndexer, OperatorOverloadsAreOperators) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "bool operator==(int a, long b) { return a == b; }\n"
+      "int Functor::operator()(int x) { return x; }\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* eq = find(s, "hc::operator==");
+  ASSERT_NE(eq, nullptr);
+  EXPECT_TRUE(eq->is_operator);
+  const FunctionRecord* call = find(s, "hc::Functor::operator()");
+  ASSERT_NE(call, nullptr);
+  EXPECT_TRUE(call->is_operator);
+  EXPECT_TRUE(call->is_member);
+}
+
+TEST(SymbolIndexer, ConstructorAndDestructorAreSpecial) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "Pool::Pool(int n) : size_(n) { open(); }\n"
+      "Pool::~Pool() { close(); }\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* ctor = find(s, "hc::Pool::Pool");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_TRUE(ctor->is_special);
+  const FunctionRecord* dtor = find(s, "hc::Pool::~Pool");
+  ASSERT_NE(dtor, nullptr);
+  EXPECT_TRUE(dtor->is_special);
+}
+
+TEST(SymbolIndexer, DefaultedSpecialMemberIsNotADefinition) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "struct Flat {\n"
+      "  Flat() = default;\n"
+      "  int live() { return 1; }\n"
+      "};\n"
+      "}  // namespace hc\n");
+  EXPECT_EQ(find(s, "hc::Flat::Flat"), nullptr);
+  ASSERT_NE(find(s, "hc::Flat::live"), nullptr);
+}
+
+TEST(SymbolIndexer, LambdaInParallelForChunksAttributesToEnclosing) {
+  // The call made inside the lambda body belongs to the function that
+  // built the lambda, and handing work to the pool is a blocking site.
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "void Runner::fan_out() {\n"
+      "  pool_.parallel_for_chunks(0, 8, [&](std::size_t i) {\n"
+      "    accumulate(i);\n"
+      "  });\n"
+      "}\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::Runner::fan_out");
+  ASSERT_NE(r, nullptr);
+  bool saw_accumulate = false;
+  for (const analyze::CallSite& c : r->calls) {
+    if (c.name == "accumulate") saw_accumulate = true;
+  }
+  EXPECT_TRUE(saw_accumulate);
+  ASSERT_EQ(r->blocks.size(), 1u);
+  EXPECT_EQ(r->blocks[0].what, "parallel_for_chunks");
+}
+
+TEST(SymbolIndexer, FunctionPointerReferenceKeepsTargetLive) {
+  // Taking a function's address is a ref, which is what the dead-symbol
+  // liveness fixpoint consumes.
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "int target(int x) { return x; }\n"
+      "void install() {\n"
+      "  int (*fp)(int) = &target;\n"
+      "  use(fp);\n"
+      "}\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::install");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->refs.count("target"), 1u);
+}
+
+TEST(SymbolIndexer, HeldLockStackTracksNestingAndScopeExit) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "void Reg::update() {\n"
+      "  const core::MutexLock outer(a_);\n"
+      "  {\n"
+      "    const core::MutexLock inner(b_);\n"
+      "  }\n"
+      "  refresh();\n"
+      "}\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::Reg::update");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->locks.size(), 2u);
+  EXPECT_EQ(r->locks[0].mutex, "Reg::a_");
+  EXPECT_TRUE(r->locks[0].held.empty());
+  EXPECT_EQ(r->locks[1].mutex, "Reg::b_");
+  ASSERT_EQ(r->locks[1].held.size(), 1u);
+  EXPECT_EQ(r->locks[1].held[0], "Reg::a_");
+  // The inner guard died with its block: refresh() runs under outer only.
+  bool saw_refresh = false;
+  for (const analyze::CallSite& c : r->calls) {
+    if (c.name != "refresh") continue;
+    saw_refresh = true;
+    ASSERT_EQ(c.held.size(), 1u);
+    EXPECT_EQ(c.held[0], "Reg::a_");
+  }
+  EXPECT_TRUE(saw_refresh);
+}
+
+TEST(SymbolIndexer, AnnotationArgsAreCapturedAndClassQualified) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "void Reg::grab() HCSCHED_ACQUIRE(mu_) {}\n"
+      "void Reg::poke() HCSCHED_REQUIRES(mu_) { touch(); }\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* grab = find(s, "hc::Reg::grab");
+  ASSERT_NE(grab, nullptr);
+  ASSERT_EQ(grab->annot_acquires.size(), 1u);
+  EXPECT_EQ(grab->annot_acquires[0], "Reg::mu_");
+  const FunctionRecord* poke = find(s, "hc::Reg::poke");
+  ASSERT_NE(poke, nullptr);
+  ASSERT_EQ(poke->annot_requires.size(), 1u);
+  EXPECT_EQ(poke->annot_requires[0], "Reg::mu_");
+  // REQUIRES seeds the held set for the body's call sites.
+  ASSERT_EQ(poke->calls.size(), 1u);
+  ASSERT_EQ(poke->calls[0].held.size(), 1u);
+  EXPECT_EQ(poke->calls[0].held[0], "Reg::mu_");
+}
+
+TEST(SymbolIndexer, CondVarWaitOnHeldLockIsTheIdiom) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "void Pool::drain() {\n"
+      "  const core::MutexLock lock(queue_mutex_);\n"
+      "  cv_.wait(queue_mutex_);\n"
+      "}\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::Pool::drain");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->blocks.size(), 1u);
+  EXPECT_EQ(r->blocks[0].what, "CondVar::wait");
+  EXPECT_TRUE(r->blocks[0].wait_on_held);
+}
+
+TEST(SymbolIndexer, MacroDefinitionBodyFeedsFileScopeRecord) {
+  // Tokens on directive lines must not open functions; their identifiers
+  // land on the file-scope record so macro-expanded helpers stay live.
+  const FileSummary s = index(
+      "#define PROBE_HOOK(x) probe_helper(x)\n"
+      "namespace hc {\n"
+      "int plain() { return 0; }\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* file_scope = nullptr;
+  for (const FunctionRecord& r : s.functions) {
+    if (r.file_scope) file_scope = &r;
+  }
+  ASSERT_NE(file_scope, nullptr);
+  EXPECT_EQ(file_scope->refs.count("probe_helper"), 1u);
+  ASSERT_NE(find(s, "hc::plain"), nullptr);
+  EXPECT_EQ(find(s, "hc::PROBE_HOOK"), nullptr);
+}
+
+TEST(SymbolIndexer, NestedNamespaceDefinitionQualifies) {
+  const FileSummary s = index(
+      "namespace hc::fault {\n"
+      "int jitter() { return 4; }\n"
+      "}  // namespace hc::fault\n");
+  ASSERT_NE(find(s, "hc::fault::jitter"), nullptr);
+}
+
+TEST(SymbolIndexer, TaintSitesRecordBannedTokens) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "int noisy() { return std::rand(); }\n"
+      "}  // namespace hc\n",
+      "src/sim/noisy.cpp");
+  const FunctionRecord* r = find(s, "hc::noisy");
+  ASSERT_NE(r, nullptr);
+  ASSERT_EQ(r->taints.size(), 1u);
+  EXPECT_EQ(r->taints[0].token, "rand(");
+}
+
+TEST(SymbolIndexer, QualifiedCallKeepsQualifierForResolution) {
+  const FileSummary s = index(
+      "namespace hc {\n"
+      "int shim() { return fault::jitter() + std::abs(-1); }\n"
+      "}  // namespace hc\n");
+  const FunctionRecord* r = find(s, "hc::shim");
+  ASSERT_NE(r, nullptr);
+  bool saw_jitter = false;
+  bool saw_abs = false;
+  for (const analyze::CallSite& c : r->calls) {
+    if (c.name == "jitter") {
+      saw_jitter = true;
+      EXPECT_EQ(c.qualifier, "fault");
+    }
+    if (c.name == "abs") {
+      saw_abs = true;
+      EXPECT_EQ(c.qualifier, "std");
+    }
+  }
+  EXPECT_TRUE(saw_jitter);
+  EXPECT_TRUE(saw_abs);
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "core/iterative.hpp"
+#include "core/thread_annotations.hpp"
 #include "etc/cvb_generator.hpp"
 #include "ga/genitor.hpp"
 #include "heuristics/astar.hpp"
@@ -45,6 +46,25 @@ CancelToken cancelled_token() {
   CancelToken token;
   token.request_cancel();
   return token;
+}
+
+// try_lock is the only core::Mutex entry point the pool and sinks never
+// exercise; pin its contract here (success on a free mutex, failure from
+// another thread while held) so the capability wrapper stays honest.
+TEST(CoreMutex, TryLockReflectsContention) {
+  hcsched::core::Mutex mutex;
+  ASSERT_TRUE(mutex.try_lock());
+  bool contended_acquired = true;
+  std::thread prober(
+      [&mutex, &contended_acquired] {
+        contended_acquired = mutex.try_lock();
+        if (contended_acquired) mutex.unlock();
+      });
+  prober.join();
+  EXPECT_FALSE(contended_acquired);
+  mutex.unlock();
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
 }
 
 TEST(CancelToken, FlagSemantics) {

@@ -227,6 +227,26 @@ TEST(Spans, NoSinkMeansNoRecordingAndNoIds) {
   EXPECT_EQ(obs::spans::thread_depth(), 0u);
 }
 
+TEST(Spans, ParentAccessorMirrorsNesting) {
+  if (!obs::kTraceCompiledIn) {
+    GTEST_SKIP() << "library built with HCSCHED_TRACE=0";
+  }
+  auto ring = std::make_shared<obs::RingBufferSink>();
+  const obs::ScopedSink scope(ring);
+  obs::ScopedSpan outer("outer");
+  const obs::ScopedSpan inner("inner");
+  EXPECT_EQ(outer.parent_span_id(), 0u);
+  EXPECT_EQ(inner.parent_span_id(), outer.span_id());
+}
+
+TEST(Spans, NullSpanIsInertAndParentless) {
+  constexpr obs::NullSpan null;
+  EXPECT_FALSE(null.recording());
+  EXPECT_EQ(null.trace_id(), 0u);
+  EXPECT_EQ(null.span_id(), 0u);
+  EXPECT_EQ(null.parent_span_id(), 0u);
+}
+
 TEST(Spans, IdFormatRoundTrips) {
   EXPECT_EQ(obs::format_span_id(0xdeadbeef01020304ULL).size(), 16u);
   EXPECT_EQ(obs::parse_span_id(obs::format_span_id(0xdeadbeef01020304ULL)),

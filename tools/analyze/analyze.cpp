@@ -13,6 +13,9 @@
 //     layering, include-cycle, unused-include
 //   token-level:
 //     range-for-temporary, narrowing-in-kernel, catch-by-value
+//   interprocedural (symbol index + cross-TU call graph):
+//     lock-order-cycle, blocking-under-lock, transitive-nondeterminism,
+//     dead-symbol
 //
 // Escapes (comments only — an allow marker inside a string literal never
 // suppresses anything):
@@ -22,7 +25,8 @@
 // Usage:
 //   hcsched_analyze --root <dir> [--format text|sarif] [--out FILE]
 //                   [--sarif-out FILE] [--baseline FILE]
-//                   [--write-baseline FILE] [--cache FILE] [--verbose]
+//                   [--write-baseline FILE] [--cache FILE]
+//                   [--dump-callgraph FILE] [--verbose]
 //
 // Exit code: 0 clean, 1 findings remain after baseline subtraction,
 // 2 usage/IO/config errors.
@@ -38,7 +42,8 @@ int usage() {
       << "usage: hcsched_analyze --root <dir> [--format text|sarif]\n"
          "                       [--out FILE] [--sarif-out FILE]\n"
          "                       [--baseline FILE] [--write-baseline FILE]\n"
-         "                       [--cache FILE] [--verbose]\n";
+         "                       [--cache FILE] [--dump-callgraph FILE]\n"
+         "                       [--verbose]\n";
   return 2;
 }
 
@@ -63,6 +68,8 @@ int main(int argc, char** argv) {
       opts.write_baseline = argv[++i];
     } else if (arg == "--cache" && i + 1 < argc) {
       opts.cache = argv[++i];
+    } else if (arg == "--dump-callgraph" && i + 1 < argc) {
+      opts.callgraph_out = argv[++i];
     } else if (arg == "--verbose") {
       opts.verbose = true;
     } else {

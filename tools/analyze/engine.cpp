@@ -1,5 +1,7 @@
 #include "analyze/engine.hpp"
 
+#include "analyze/callgraph.hpp"
+
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -12,9 +14,16 @@ namespace fs = std::filesystem;
 namespace analyze {
 namespace {
 
-// Bumping this string invalidates every cached summary — do so whenever a
-// rule, the lexer, or the summary layout changes behavior.
-constexpr std::string_view kCacheVersion = "hcsched-analyze-cache-v2";
+// Bumping this string invalidates every cached summary — do so whenever
+// the summary LAYOUT changes (new record tags, field reordering).
+constexpr std::string_view kCacheVersion = "hcsched-analyze-cache-v3";
+
+// Engine/rule-set stamp, stored on the cache's second line and checked on
+// load: bump it whenever a rule or the lexer changes BEHAVIOR without
+// changing the serialized layout, so an edited rule can never serve stale
+// cached findings. (Content hashes only catch edits to the *scanned*
+// files, not to the analyzer itself.)
+constexpr std::string_view kEngineStamp = "engine-v10-symbol-index";
 
 bool skip_directory(const fs::path& dir) {
   const std::string name = dir.filename().string();
@@ -88,11 +97,34 @@ std::vector<std::string> split_fields(const std::string& line) {
   return fields;
 }
 
+// Flag bits for the serialized function records ('S' / 'C' tags).
+constexpr int kFnDefinition = 1;
+constexpr int kFnMember = 2;
+constexpr int kFnTemplate = 4;
+constexpr int kFnOperator = 8;
+constexpr int kFnSpecial = 16;
+constexpr int kFnFileScope = 32;
+constexpr int kFnAllowDead = 64;
+constexpr int kCallMember = 1;
+constexpr int kCallAllowBlocking = 2;
+constexpr int kCallAllowTaint = 4;
+constexpr int kCallAllowLock = 8;
+
+// Empty-string placeholder for fixed positional fields (enc() never emits
+// a bare "-" for a nonempty identifier-ish value).
+std::string enc_or_dash(const std::string& s) {
+  return s.empty() ? std::string("-") : enc(s);
+}
+std::string dec_or_dash(const std::string& s) {
+  return s == "-" ? std::string() : dec(s);
+}
+
 void save_cache(const fs::path& path,
                 const std::vector<FileSummary>& summaries) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return;  // best effort; the cache is an optimization only
   out << kCacheVersion << "\n";
+  out << "engine " << kEngineStamp << "\n";
   for (const FileSummary& f : summaries) {
     out << "F " << std::hex << f.hash << std::dec << " " << enc(f.relative)
         << "\n";
@@ -125,6 +157,50 @@ void save_cache(const fs::path& path,
     out << "\nW";
     for (const std::string& n : f.mentions) out << " " << enc(n);
     out << "\n";
+    for (const FunctionRecord& fn : f.functions) {
+      int flags = 0;
+      if (fn.is_definition) flags |= kFnDefinition;
+      if (fn.is_member) flags |= kFnMember;
+      if (fn.is_template) flags |= kFnTemplate;
+      if (fn.is_operator) flags |= kFnOperator;
+      if (fn.is_special) flags |= kFnSpecial;
+      if (fn.file_scope) flags |= kFnFileScope;
+      if (fn.allow_dead) flags |= kFnAllowDead;
+      out << "S " << fn.line << " " << flags << " " << enc_or_dash(fn.name)
+          << " " << enc_or_dash(fn.qualified);
+      for (const std::string& a : fn.annot_acquires) out << " a" << enc(a);
+      for (const std::string& r : fn.annot_requires) out << " r" << enc(r);
+      out << "\n";
+      for (const CallSite& c : fn.calls) {
+        int cf = 0;
+        if (c.member) cf |= kCallMember;
+        if (c.allow_blocking) cf |= kCallAllowBlocking;
+        if (c.allow_taint) cf |= kCallAllowTaint;
+        if (c.allow_lock) cf |= kCallAllowLock;
+        out << "C " << c.line << " " << cf << " " << enc(c.name) << " "
+            << enc_or_dash(c.qualifier);
+        for (const std::string& h : c.held) out << " " << enc(h);
+        out << "\n";
+      }
+      for (const LockSite& l : fn.locks) {
+        out << "L " << l.line << " " << (l.allowed ? 1 : 0) << " "
+            << enc(l.mutex);
+        for (const std::string& h : l.held) out << " " << enc(h);
+        out << "\n";
+      }
+      for (const BlockSite& b : fn.blocks) {
+        out << "B " << b.line << " " << (b.allowed ? 1 : 0) << " "
+            << (b.wait_on_held ? 1 : 0) << " " << enc(b.what);
+        for (const std::string& h : b.held) out << " " << enc(h);
+        out << "\n";
+      }
+      for (const TaintSite& t : fn.taints) {
+        out << "X " << t.line << " " << enc(t.token) << "\n";
+      }
+      out << "G";
+      for (const std::string& r : fn.refs) out << " " << enc(r);
+      out << "\n";
+    }
     for (const Finding& v : f.findings) {
       out << "V " << v.line << " " << enc(v.rule) << " " << enc(v.message)
           << "\n";
@@ -139,6 +215,10 @@ std::map<std::string, FileSummary> load_cache(const fs::path& path) {
   if (!in) return cache;
   std::string line;
   if (!std::getline(in, line) || line != kCacheVersion) return cache;
+  if (!std::getline(in, line) ||
+      line != std::string("engine ") + std::string(kEngineStamp)) {
+    return cache;  // analyzer changed behavior — discard everything
+  }
   FileSummary cur;
   bool open = false;
   while (std::getline(in, line)) {
@@ -192,6 +272,65 @@ std::map<std::string, FileSummary> load_cache(const fs::path& path) {
     } else if (tag == "W") {
       for (std::size_t i = 1; i < f.size(); ++i) {
         if (!f[i].empty()) cur.mentions.insert(dec(f[i]));
+      }
+    } else if (tag == "S" && f.size() >= 5) {
+      FunctionRecord fn;
+      fn.line = std::stoul(f[1]);
+      const int flags = std::stoi(f[2]);
+      fn.is_definition = (flags & kFnDefinition) != 0;
+      fn.is_member = (flags & kFnMember) != 0;
+      fn.is_template = (flags & kFnTemplate) != 0;
+      fn.is_operator = (flags & kFnOperator) != 0;
+      fn.is_special = (flags & kFnSpecial) != 0;
+      fn.file_scope = (flags & kFnFileScope) != 0;
+      fn.allow_dead = (flags & kFnAllowDead) != 0;
+      fn.name = dec_or_dash(f[3]);
+      fn.qualified = dec_or_dash(f[4]);
+      for (std::size_t i = 5; i < f.size(); ++i) {
+        if (f[i].size() < 2) continue;
+        if (f[i][0] == 'a') fn.annot_acquires.push_back(dec(f[i].substr(1)));
+        if (f[i][0] == 'r') fn.annot_requires.push_back(dec(f[i].substr(1)));
+      }
+      cur.functions.push_back(std::move(fn));
+    } else if (tag == "C" && f.size() >= 5 && !cur.functions.empty()) {
+      CallSite c;
+      c.line = std::stoul(f[1]);
+      const int cf = std::stoi(f[2]);
+      c.member = (cf & kCallMember) != 0;
+      c.allow_blocking = (cf & kCallAllowBlocking) != 0;
+      c.allow_taint = (cf & kCallAllowTaint) != 0;
+      c.allow_lock = (cf & kCallAllowLock) != 0;
+      c.name = dec(f[3]);
+      c.qualifier = dec_or_dash(f[4]);
+      for (std::size_t i = 5; i < f.size(); ++i) {
+        if (!f[i].empty()) c.held.push_back(dec(f[i]));
+      }
+      cur.functions.back().calls.push_back(std::move(c));
+    } else if (tag == "L" && f.size() >= 4 && !cur.functions.empty()) {
+      LockSite l;
+      l.line = std::stoul(f[1]);
+      l.allowed = f[2] == "1";
+      l.mutex = dec(f[3]);
+      for (std::size_t i = 4; i < f.size(); ++i) {
+        if (!f[i].empty()) l.held.push_back(dec(f[i]));
+      }
+      cur.functions.back().locks.push_back(std::move(l));
+    } else if (tag == "B" && f.size() >= 5 && !cur.functions.empty()) {
+      BlockSite b;
+      b.line = std::stoul(f[1]);
+      b.allowed = f[2] == "1";
+      b.wait_on_held = f[3] == "1";
+      b.what = dec(f[4]);
+      for (std::size_t i = 5; i < f.size(); ++i) {
+        if (!f[i].empty()) b.held.push_back(dec(f[i]));
+      }
+      cur.functions.back().blocks.push_back(std::move(b));
+    } else if (tag == "X" && f.size() >= 3 && !cur.functions.empty()) {
+      cur.functions.back().taints.push_back(
+          TaintSite{dec(f[2]), std::stoul(f[1])});
+    } else if (tag == "G" && !cur.functions.empty()) {
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        if (!f[i].empty()) cur.functions.back().refs.insert(dec(f[i]));
       }
     } else if (tag == "V" && f.size() >= 4) {
       cur.findings.push_back(Finding{cur.relative, std::stoul(f[1]),
@@ -315,6 +454,16 @@ int run(const Options& opts) {
       std::cout << "hcsched_analyze: cache hits " << cache_hits << "/"
                 << summaries.size() << "\n";
     }
+  }
+
+  if (!opts.callgraph_out.empty()) {
+    std::ofstream cg(opts.callgraph_out, std::ios::binary);
+    if (!cg) {
+      std::cerr << "hcsched_analyze: cannot write "
+                << opts.callgraph_out.generic_string() << "\n";
+      return 2;
+    }
+    cg << dump_callgraph(summaries);
   }
 
   std::vector<Finding> findings;

@@ -18,6 +18,7 @@ struct Options {
   std::filesystem::path baseline;        // suppression baseline to apply
   std::filesystem::path write_baseline;  // emit all findings as a baseline
   std::filesystem::path cache;      // incremental cache file (read+write)
+  std::filesystem::path callgraph_out;  // --dump-callgraph artifact
   bool verbose = false;
 };
 

@@ -1,0 +1,4 @@
+// Bench reaching tooling internals without an audit (must be flagged).
+#include "analyze/lexer.hpp"
+
+int main() { return analyze::token_count(); }

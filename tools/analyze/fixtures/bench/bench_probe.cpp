@@ -1,0 +1,8 @@
+// Fixture for bench layering escapes: GA internals are reachable through
+// the declared driver surface (registry closure), and an audited reach
+// into tooling internals uses the line-level allowance (both must pass;
+// the raw reach in bad_bench.cpp must be flagged).
+#include "analyze/lexer.hpp"  // lint:allow(layering) — audited: lexer microbench
+#include "ga/genitor.hpp"
+
+int main() { return fixture::ga::seed_population() + analyze::token_count(); }

@@ -1,0 +1,14 @@
+#include "core/pipeline.hpp"
+
+namespace fixture {
+
+int Engine::run() { return step(1) + helper(2); }
+
+int Engine::step(int x) { return helper(x); }
+
+int helper(int x) { return x; }
+
+}  // namespace fixture
+
+// The dump, not the findings, is under test here.
+// hcsched-lint: allow(dead-symbol)

@@ -1,0 +1,14 @@
+// Mini-tree for the golden call-graph dump: an out-of-line member chain
+// and a free helper. The dump, not the findings, is under test.
+#pragma once
+
+namespace fixture {
+
+struct Engine {
+  int run();
+  int step(int x);
+};
+
+int helper(int x);
+
+}  // namespace fixture

@@ -19,3 +19,6 @@ int my_rand(int x);
 int lookalikes() { return completion_time(0) + my_rand(1); }
 
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -7,3 +7,6 @@
 namespace fixture::etc_layer_ok {
 inline int marker() { return 2; }
 }  // namespace fixture::etc_layer_ok
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

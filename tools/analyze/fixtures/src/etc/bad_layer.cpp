@@ -8,3 +8,6 @@
 namespace fixture::etc_layer {
 inline int marker() { return 1; }
 }  // namespace fixture::etc_layer
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

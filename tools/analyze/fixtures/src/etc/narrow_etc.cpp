@@ -15,3 +15,6 @@ inline float accumulate(double sample) {
   return acc;
 }
 }  // namespace fixture::etc_narrow
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

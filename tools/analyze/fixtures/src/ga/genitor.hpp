@@ -1,0 +1,10 @@
+// Stub for the bench layering fixture; declarations only. The relative
+// path matches the real tree so the file-exact component entry
+// (ga/genitor) applies.
+#pragma once
+
+namespace fixture::ga {
+
+int seed_population();
+
+}  // namespace fixture::ga

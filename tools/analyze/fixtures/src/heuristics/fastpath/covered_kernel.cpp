@@ -3,3 +3,6 @@
 namespace fixture {
 int covered_kernel_marker() { return 2; }
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -26,3 +26,6 @@ inline float half_sum(double lhs, double rhs, const std::vector<int>& v) {
 }
 
 }  // namespace fixture::kernel
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -23,3 +23,6 @@ inline float merge_lanes(double lane_min, std::size_t lane_count) {
 }
 
 }  // namespace fixture::minscan
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

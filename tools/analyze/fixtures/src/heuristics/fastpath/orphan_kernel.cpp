@@ -3,3 +3,6 @@
 namespace fixture {
 int orphan_kernel_marker() { return 1; }
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

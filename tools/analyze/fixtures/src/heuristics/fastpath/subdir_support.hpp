@@ -7,3 +7,6 @@
 namespace fixture {
 inline int subdir_support_marker() { return 3; }
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

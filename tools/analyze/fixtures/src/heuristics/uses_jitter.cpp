@@ -1,0 +1,16 @@
+// Fixture for transitive-nondeterminism: a deterministic-layer function
+// whose call chain reaches sim/fault ambient entropy (must be flagged at
+// the offending call) and the audited line-level allowance (must pass).
+#include "sim/fault/jitter.hpp"
+
+namespace fixture {
+
+int tainted_choice() { return fault::jitter(); }
+
+// lint:allow(taint) — audited: the replay harness records the jitter stream
+int audited_choice() { return fault::jitter(); }
+
+}  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -1,0 +1,11 @@
+// Fixture for dead-symbol: report_orphan is referenced by nothing (must
+// be flagged); audited_orphan carries the line-level allowance (must
+// pass).
+namespace fixture {
+
+int report_orphan() { return 1; }
+
+// lint:allow(dead-symbol) — audited: kept as a stable extension point
+int audited_orphan() { return 2; }
+
+}  // namespace fixture

@@ -7,3 +7,6 @@
 namespace fixture {
 inline int standalone() { return 7; }
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

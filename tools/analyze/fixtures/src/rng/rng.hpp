@@ -1,0 +1,8 @@
+// Stub for the tools layering fixture; declarations only.
+#pragma once
+
+namespace fixture::rng {
+
+int next_seed();
+
+}  // namespace fixture::rng

@@ -18,3 +18,6 @@ inline int probe(std::atomic<int>& flag) {
 }
 
 }  // namespace fixture::escapes
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -21,3 +21,6 @@ int wrapped() {
 }
 
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -1,0 +1,38 @@
+// Fixture for blocking-under-lock: stream I/O under a held MutexLock both
+// directly and through a helper call (must be flagged), the audited
+// line-level allowance, and the CondVar wait-on-held idiom (must pass).
+#include <cstdint>
+#include <cstdio>
+
+#include "core/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Journal {
+  void direct_bad() {
+    const core::MutexLock lock(mu_);
+    std::fopen("journal.log", "a");
+  }
+  void write_side() { std::fopen("side.log", "a"); }
+  void transitive_bad() {
+    const core::MutexLock lock(mu_);
+    write_side();
+  }
+  void audited() {
+    const core::MutexLock lock(mu_);
+    // Audited: this sink is the serialization point for the stream.
+    std::fopen("audited.log", "a");  // lint:allow(blocking-under-lock)
+  }
+  void condvar_idiom() {
+    const core::MutexLock lock(mu_);
+    cv_.wait(mu_);
+  }
+  core::Mutex mu_;
+  core::CondVar cv_;
+  std::uint64_t entries HCSCHED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -24,3 +24,6 @@ inline int run(int x) {
 }
 
 }  // namespace fixture::catches
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

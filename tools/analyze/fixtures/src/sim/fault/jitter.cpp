@@ -1,0 +1,15 @@
+// sim/fault implementation of the banned source: ambient entropy is legal
+// in the sim layer; the taint propagates to deterministic callers through
+// the cross-TU call graph.
+#include <cstdlib>
+
+#include "sim/fault/jitter.hpp"
+
+namespace fixture::fault {
+
+int jitter() { return std::rand(); }
+
+}  // namespace fixture::fault
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

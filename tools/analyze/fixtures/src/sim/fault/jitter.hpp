@@ -1,0 +1,11 @@
+// Support header for the transitive-nondeterminism fixture: sim/fault may
+// use ambient entropy (it sits outside the deterministic contract), so
+// jitter() is legal HERE but banned transitively from deterministic
+// layers.
+#pragma once
+
+namespace fixture::fault {
+
+int jitter();
+
+}  // namespace fixture::fault

@@ -9,3 +9,6 @@ namespace fixture::nested {
 inline int depth() { return 2; }
 
 }  // namespace fixture::nested
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -1,0 +1,62 @@
+// Fixture for lock-order-cycle: Pair acquires a_ then b_ in one method
+// and b_ then a_ in another (must be flagged with the witness pair),
+// Chain builds the same inversion through annotated callees (must be
+// flagged), and Audited reverses order on an audited line (must pass).
+#include <cstdint>
+
+#include "core/thread_annotations.hpp"
+
+namespace fixture {
+
+struct Pair {
+  void ab() {
+    const core::MutexLock first(a_);
+    const core::MutexLock second(b_);
+  }
+  void ba() {
+    const core::MutexLock first(b_);
+    const core::MutexLock second(a_);
+  }
+  core::Mutex a_;
+  core::Mutex b_;
+  std::uint64_t hits HCSCHED_GUARDED_BY(a_) = 0;
+  std::uint64_t misses HCSCHED_GUARDED_BY(b_) = 0;
+};
+
+struct Chain {
+  void outer() {
+    const core::MutexLock guard(first_);
+    grab_second();
+  }
+  void grab_second() HCSCHED_ACQUIRE(second_) {}
+  void inverse() {
+    const core::MutexLock guard(second_);
+    grab_first();
+  }
+  void grab_first() HCSCHED_ACQUIRE(first_) {}
+  core::Mutex first_;
+  core::Mutex second_;
+  std::uint64_t depth HCSCHED_GUARDED_BY(first_) = 0;
+  std::uint64_t width HCSCHED_GUARDED_BY(second_) = 0;
+};
+
+struct Audited {
+  void forward() {
+    const core::MutexLock first(one_);
+    const core::MutexLock second(two_);
+  }
+  void reversed() {
+    const core::MutexLock first(two_);
+    // Audited: shutdown path, runs strictly single-threaded.
+    const core::MutexLock second(one_);  // lint:allow(lock-order)
+  }
+  core::Mutex one_;
+  core::Mutex two_;
+  std::uint64_t opened HCSCHED_GUARDED_BY(one_) = 0;
+  std::uint64_t closed HCSCHED_GUARDED_BY(two_) = 0;
+};
+
+}  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -14,3 +14,6 @@ void sites() {
 }
 
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -15,3 +15,6 @@ void good() {
 #endif
 
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

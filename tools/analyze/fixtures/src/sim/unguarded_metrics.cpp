@@ -26,3 +26,6 @@ void good_metric() {
 #endif
 
 }  // namespace fixture
+
+// Fixture functions are intentionally exercised by nothing.
+// hcsched-lint: allow(dead-symbol)

@@ -1,0 +1,5 @@
+// Fixture for tools layering: the analyzer component is dependency-free
+// by design, so this reach into src/rng must be flagged.
+#include "rng/rng.hpp"
+
+int probe() { return fixture::rng::next_seed(); }

@@ -1,0 +1,8 @@
+// Stub analyzer header for the bench escape fixture; declarations only.
+#pragma once
+
+namespace analyze {
+
+int token_count();
+
+}  // namespace analyze

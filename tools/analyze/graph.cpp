@@ -1,5 +1,5 @@
 // Include-graph rules: layering DAG enforcement, include-cycle detection,
-// and unused-direct-include detection over src/.
+// and unused-direct-include detection over src/, tools/, and bench/.
 //
 // Layering is enforced on *components*, not raw directories, because the
 // real tree is finer-grained than the directory layout: src/core/ holds
@@ -51,6 +51,7 @@ constexpr std::pair<std::string_view, std::string_view> kFileComponents[] = {
     {"src/heuristics/registry.cpp", "heuristics/registry"},
     {"src/sim/thread_pool.hpp", "sim/pool"},
     {"src/sim/thread_pool.cpp", "sim/pool"},
+    {"tools/hcsched_cli.cpp", "tools/cli"},
 };
 
 // Prefix assignments, first match wins (longer prefixes listed first).
@@ -67,6 +68,11 @@ constexpr std::pair<std::string_view, std::string_view> kPrefixComponents[] =
         {"src/heuristics/", "heuristics"},
         {"src/sim/", "sim"},
         {"src/report/", "report"},
+        {"tools/analyze/", "tools/analyze"},
+        {"tools/lint/", "tools/lint"},
+        {"tools/fuzz/", "tools/fuzz"},
+        {"tools/bench_check/", "tools/bench_check"},
+        {"bench/", "bench"},
 };
 
 // Declared DIRECT dependencies; the legality check uses the transitive
@@ -97,6 +103,23 @@ const std::map<std::string, std::vector<std::string>>& component_deps() {
       {"obs/report",
        {"core/base", "core/algo", "rng", "etc", "sched", "obs", "report"}},
       {"report", {"core/base", "etc", "sched"}},
+      // Drivers and harnesses above src/. The analyzer is dependency-free
+      // by design (it must build before anything else is sane); lint is a
+      // thin shim over it. Benches may use the full study/driver surface
+      // but NOT GA/search internals — a bench poking those marks the
+      // audited include '// lint:allow(layering)'.
+      {"tools/analyze", {}},
+      {"tools/lint", {"tools/analyze"}},
+      {"tools/fuzz", {"core/base", "rng", "etc", "sched", "heuristics"}},
+      {"tools/bench_check",
+       {"core/base", "rng", "etc", "sched", "heuristics", "obs"}},
+      {"tools/cli",
+       {"core/base", "core/algo", "rng", "etc", "sched", "heuristics",
+        "heuristics/registry", "obs", "obs/report", "report", "sim",
+        "sim/fault"}},
+      {"bench",
+       {"core/base", "core/algo", "rng", "etc", "sched", "heuristics",
+        "heuristics/registry", "obs", "report", "sim", "sim/fault"}},
   };
   return deps;
 }
@@ -158,17 +181,41 @@ struct Edge {
   std::string target;  // resolved relative path of the included file
 };
 
-/// Quoted project includes that resolve to a scanned file under src/.
+/// A file participates in the include-graph rules iff it lives in a
+/// layered tree (tests/ stays out: test TUs include whatever they probe).
+bool in_layered_tree(std::string_view relative) {
+  return starts_with(relative, "src/") || starts_with(relative, "tools/") ||
+         starts_with(relative, "bench/");
+}
+
+/// Resolve a quoted include spelling against the scanned tree. src/ spells
+/// src/-relative paths, tools spell component-root-relative paths
+/// ("analyze/model.hpp"), benches spell bench-local ("bench_common.hpp")
+/// and src/-relative paths.
+std::string resolve_target(
+    const std::string& path,
+    const std::map<std::string, const FileSummary*>& by_relative) {
+  static constexpr std::string_view kPrefixes[] = {"", "src/", "tools/",
+                                                   "bench/"};
+  for (std::string_view p : kPrefixes) {
+    std::string candidate = std::string(p) + path;
+    if (by_relative.count(candidate)) return candidate;
+  }
+  return {};
+}
+
+/// Quoted project includes that resolve to a scanned file in a layered
+/// tree.
 std::vector<Edge> resolved_edges(
     const std::vector<FileSummary>& summaries,
     const std::map<std::string, const FileSummary*>& by_relative) {
   std::vector<Edge> edges;
   for (const FileSummary& f : summaries) {
-    if (!starts_with(f.relative, "src/")) continue;
+    if (!in_layered_tree(f.relative)) continue;
     for (const IncludeInfo& inc : f.includes) {
       if (inc.angle) continue;
-      const std::string target = "src/" + inc.path;
-      if (by_relative.count(target)) {
+      const std::string target = resolve_target(inc.path, by_relative);
+      if (!target.empty()) {
         edges.push_back(Edge{&f, &inc, target});
       }
     }
@@ -180,13 +227,14 @@ void check_layering(const std::vector<FileSummary>& summaries,
                     const std::vector<Edge>& edges,
                     std::vector<Finding>& out) {
   for (const FileSummary& f : summaries) {
-    if (!starts_with(f.relative, "src/")) continue;
+    if (!in_layered_tree(f.relative)) continue;
     if (component_of(f.relative).empty() &&
         !f.file_allows.count("layering")) {
       out.push_back(Finding{
           f.relative, 0, "layering",
-          "file is in src/ but assigned to no layering component; extend "
-          "the component map in tools/analyze/graph.cpp (and the table in "
+          "file is in a layered tree (src/, tools/, bench/) but assigned "
+          "to no layering component; extend the component map in "
+          "tools/analyze/graph.cpp (and the table in "
           "docs/STATIC_ANALYSIS.md)"});
     }
   }
@@ -314,7 +362,9 @@ void check_unused_includes(
       names.insert(it->second->declared.begin(),
                    it->second->declared.end());
       for (const IncludeInfo& inc : it->second->includes) {
-        if (!inc.angle) work.push_back("src/" + inc.path);
+        if (inc.angle) continue;
+        const std::string t = resolve_target(inc.path, by_relative);
+        if (!t.empty()) work.push_back(t);
       }
     }
     return provides_memo.emplace(rel, std::move(names)).first->second;

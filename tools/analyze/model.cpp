@@ -471,6 +471,7 @@ FileSummary analyze_file(const std::string& relative,
   collect_declared_and_rets(ctx, out);
   collect_metric_sites(ctx, out);
   collect_range_fors(ctx, out);
+  index_symbols(relative, ctx, out);
 
   // Full-text word set, kept only where a cross-file rule consumes it
   // (the fastpath-differential "any mention counts" contract).

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analyze/lexer.hpp"
+#include "analyze/symbols.hpp"
 
 namespace analyze {
 
@@ -79,6 +80,7 @@ struct FileSummary {
   std::map<std::string, int> ret_kinds;  // method name -> kRet* bits
   std::vector<MetricSite> metric_sites;
   std::vector<RangeForChain> range_fors;
+  std::vector<FunctionRecord> functions;  // symbol index (symbols.cpp)
   std::set<std::string> file_allows;  // hcsched-lint: allow(<rule-id>)
   std::vector<Finding> findings;      // file-local rules only
 };

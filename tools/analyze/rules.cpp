@@ -18,6 +18,7 @@
 #include <map>
 #include <sstream>
 
+#include "analyze/callgraph.hpp"
 #include "analyze/model.hpp"
 
 namespace analyze {
@@ -690,6 +691,7 @@ std::vector<Finding> run_global_rules(
   check_metric_docs(root, summaries, out);
   check_range_for_temporary(summaries, out);
   run_graph_rules(summaries, out);
+  run_callgraph_rules(summaries, out);
   return out;
 }
 

@@ -78,6 +78,18 @@ const std::map<std::string, std::string>& rule_descriptions() {
        "No implicit double->float or size_t->int narrowing in "
        "src/heuristics/fastpath/ or src/etc/."},
       {"catch-by-value", "Exceptions are caught by reference (or ...)."},
+      {"lock-order-cycle",
+       "The cross-TU lock acquisition graph (core::MutexLock nesting plus "
+       "ACQUIRE/REQUIRES annotations) is acyclic."},
+      {"blocking-under-lock",
+       "No call chain reaches stream I/O, CondVar::wait, or "
+       "ThreadPool::submit while a core::MutexLock is held."},
+      {"transitive-nondeterminism",
+       "No call chain from a deterministic layer reaches a banned "
+       "nondeterminism source, even through other TUs."},
+      {"dead-symbol",
+       "Every src/ function is reachable from a CLI entry point, test, "
+       "bench, or registry factory."},
   };
   return desc;
 }
